@@ -1,0 +1,448 @@
+package repro
+
+// One benchmark per table/figure of the paper (see DESIGN.md's
+// per-experiment index), plus ablation benchmarks for the design
+// decisions DESIGN.md calls out. Swarm benchmarks run scaled-down
+// configurations per iteration so `go test -bench=.` stays tractable;
+// cmd/p2plab regenerates the full-size figures.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/bt"
+	"repro/internal/exp"
+	"repro/internal/ip"
+	"repro/internal/netem"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// lanClass returns an unconstrained-ish link for protocol benchmarks.
+func lanClass() topo.LinkClass {
+	return topo.LinkClass{Name: "lan", Down: netem.Gbps, Up: netem.Gbps, Latency: time.Millisecond}
+}
+
+// BenchmarkFig1SchedulerScaling runs the Fig 1 workload (1000
+// concurrent CPU-bound processes) under each scheduler model.
+func BenchmarkFig1SchedulerScaling(b *testing.B) {
+	for _, kind := range sched.Kinds {
+		b.Run(kind.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := sched.DefaultConfig(kind)
+				res := sched.Run(cfg, sched.CPUBoundJobs(1000))
+				if res.AvgExecTime() < time.Second {
+					b.Fatal("implausible result")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig2MemoryPressure runs the Fig 2 workload (50
+// memory-intensive processes, 2× RAM overcommit) under each scheduler.
+func BenchmarkFig2MemoryPressure(b *testing.B) {
+	for _, kind := range sched.Kinds {
+		b.Run(kind.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := sched.DefaultConfig(kind)
+				res := sched.Run(cfg, sched.MemoryJobs(50))
+				if !res.SwapUsed {
+					b.Fatal("expected swap")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig3Fairness runs the Fig 3 workload (100 concurrent 5 s
+// processes) and builds the completion CDF.
+func BenchmarkFig3Fairness(b *testing.B) {
+	for _, kind := range sched.Kinds {
+		b.Run(kind.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := sched.DefaultConfig(kind)
+				res := sched.Run(cfg, sched.FairnessJobs(100))
+				if len(res.FinishTimes()) != 100 {
+					b.Fatal("missing finishers")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBindInterception measures the emulated connect/close cycle
+// with and without the BINDIP libc interception (the paper's
+// 10.22 µs vs 10.79 µs microbenchmark).
+func BenchmarkBindInterception(b *testing.B) {
+	for _, intercept := range []bool{false, true} {
+		name := "plain"
+		if intercept {
+			name = "intercepted"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := exp.BindOverhead()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if intercept && res.Intercepted <= res.Plain {
+					b.Fatal("interception should cost more")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig6RuleScaling measures the real CPU cost of the linear
+// IPFW-style rule scan at the paper's table sizes — the Go benchmark
+// shows the same linear artifact the paper measured with ping.
+func BenchmarkFig6RuleScaling(b *testing.B) {
+	src := ip.MustParseAddr("10.0.0.1")
+	dst := ip.MustParseAddr("10.0.0.2")
+	filler := ip.MustParseAddr("172.16.0.0")
+	for _, rules := range []int{100, 1000, 10000, 50000} {
+		rs := netem.NewRuleSet()
+		for i := 0; i < rules; i++ {
+			rs.AddCount(ip.NewPrefix(filler.Add(uint32(i)), 32), ip.Prefix{})
+		}
+		b.Run(fmt.Sprintf("rules=%d", rules), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				v := rs.Eval(src, dst)
+				if v.Visited != rules {
+					b.Fatal("scan short-circuited")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig6RuleScalingIndexed is the ablation: the hash-indexed
+// classifier IPFW could not offer stays O(1) as the table grows.
+func BenchmarkFig6RuleScalingIndexed(b *testing.B) {
+	src := ip.MustParseAddr("10.0.0.1")
+	dst := ip.MustParseAddr("10.0.0.2")
+	filler := ip.MustParseAddr("172.16.0.0")
+	for _, rules := range []int{100, 1000, 10000, 50000} {
+		rs := netem.NewRuleSet()
+		rs.AddCount(ip.NewPrefix(src, 32), ip.Prefix{})
+		for i := 0; i < rules; i++ {
+			rs.AddCount(ip.NewPrefix(filler.Add(uint32(i)), 32), ip.Prefix{})
+		}
+		ix := netem.NewIndexedRuleSet(rs)
+		b.Run(fmt.Sprintf("rules=%d", rules), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				v := ix.Eval(src, dst)
+				if v.Visited > 16 {
+					b.Fatal("index degenerated")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig6PingSweep runs the end-to-end Fig 6 measurement (ping
+// across the emulated stack with a padded firewall).
+func BenchmarkFig6PingSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := exp.Fig6([]int{0, 25000, 50000}, 5, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if points[2].Stats.Avg < points[0].Stats.Avg {
+			b.Fatal("rule cost vanished")
+		}
+	}
+}
+
+// BenchmarkFig7Topology builds the 2750-node Fig 7 topology on a
+// 14-node cluster and measures the worked-example RTT.
+func BenchmarkFig7Topology(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Fig7(14, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.RTT < 850*time.Millisecond {
+			b.Fatal("rtt below model")
+		}
+	}
+}
+
+// benchSwarm runs one scaled swarm per iteration and reports virtual
+// seconds simulated per wall second.
+func benchSwarm(b *testing.B, sp exp.SwarmParams) {
+	b.Helper()
+	var virtual time.Duration
+	for i := 0; i < b.N; i++ {
+		out, err := exp.RunSwarm(sp)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !out.AllDone {
+			b.Fatal("swarm incomplete")
+		}
+		virtual += time.Duration(out.EndedAt)
+	}
+	b.ReportMetric(virtual.Seconds()/b.Elapsed().Seconds(), "virtual-s/s")
+}
+
+// BenchmarkFig8Swarm runs the Fig 8 experiment at 1/4 scale (40
+// clients, 4 MiB file, same DSL links and protocol parameters).
+func BenchmarkFig8Swarm(b *testing.B) {
+	sp := exp.Fig8Params().Scale(4)
+	sp.StartInterval = 4 * time.Second
+	benchSwarm(b, sp)
+}
+
+// BenchmarkFig9Folding runs the folding experiment (Fig 9) at 1/4
+// scale for foldings 1 and 10.
+func BenchmarkFig9Folding(b *testing.B) {
+	for _, folding := range []int{1, 10} {
+		b.Run(fmt.Sprintf("folding=%d", folding), func(b *testing.B) {
+			sp := exp.Fig8Params().Scale(4)
+			sp.StartInterval = 4 * time.Second
+			sp.Folding = folding
+			benchSwarm(b, sp)
+		})
+	}
+}
+
+// BenchmarkFig10Scale runs the scalability experiment (Figs 10 and 11)
+// at 1/16 scale: 359 clients folded 32-per-physical-node.
+func BenchmarkFig10Scale(b *testing.B) {
+	sp := exp.Fig10Params().Scale(16)
+	benchSwarm(b, sp)
+}
+
+// BenchmarkFig11Completions measures building the completion-count
+// series from a finished swarm (the Fig 11 post-processing).
+func BenchmarkFig11Completions(b *testing.B) {
+	sp := exp.Fig10Params().Scale(32)
+	out, err := exp.RunSwarm(sp)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := exp.CompletionSeries(out.Completions)
+		if s.Len() == 0 {
+			b.Fatal("no completions")
+		}
+	}
+}
+
+// BenchmarkDHTScaling runs the Chord scaling experiment (extension E1)
+// on a 32-node ring.
+func BenchmarkDHTScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := exp.DHTScaling([]int{32}, 100, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if points[0].AvgHops <= 0 {
+			b.Fatal("no hops measured")
+		}
+	}
+}
+
+// BenchmarkChurnSwarm runs the churn experiment (extension E3).
+func BenchmarkChurnSwarm(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cp := exp.DefaultChurnSwarmParams()
+		cp.Clients = 12
+		cp.FileSize = 1 << 20
+		out, err := exp.RunChurnSwarm(cp)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out.StableDone == 0 {
+			b.Fatal("no completions")
+		}
+	}
+}
+
+// BenchmarkGossipSpread runs the epidemic dissemination experiment
+// (extension E6) on a 64-node population.
+func BenchmarkGossipSpread(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pt, err := exp.GossipSpread(64, 3, lanClass(), 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if pt.Coverage < 1 {
+			b.Fatal("incomplete coverage")
+		}
+	}
+}
+
+// --- Ablation and substrate microbenchmarks ---
+
+// BenchmarkKernelModes compares the two ways to schedule work on the
+// virtual-time kernel (DESIGN.md decision 1): goroutine park/wake
+// versus pure event callbacks.
+func BenchmarkKernelModes(b *testing.B) {
+	b.Run("goroutines", func(b *testing.B) {
+		k := sim.New(1)
+		k.Go("worker", func(p *sim.Proc) {
+			for i := 0; i < b.N; i++ {
+				p.Sleep(time.Microsecond)
+			}
+		})
+		if err := k.Run(); err != nil {
+			b.Fatal(err)
+		}
+	})
+	b.Run("events", func(b *testing.B) {
+		k := sim.New(1)
+		var tick func()
+		n := 0
+		tick = func() {
+			n++
+			if n < b.N {
+				k.After(time.Microsecond, tick)
+			}
+		}
+		k.After(time.Microsecond, tick)
+		if err := k.Run(); err != nil {
+			b.Fatal(err)
+		}
+	})
+}
+
+// BenchmarkPipeGranularity compares message-level pipe charging
+// (DESIGN.md decision 2) against packet-chunked charging (1500-byte
+// MTU) for a 16 KiB block.
+func BenchmarkPipeGranularity(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	cfg := netem.PipeConfig{Bandwidth: 2 * netem.Mbps, Delay: 30 * time.Millisecond}
+	b.Run("message", func(b *testing.B) {
+		k := sim.New(1)
+		p := netem.NewPipe(k, "m", cfg)
+		at := sim.Time(0)
+		for i := 0; i < b.N; i++ {
+			exit, _ := p.ScheduleAt(at, 16384, rng)
+			at = exit
+		}
+	})
+	b.Run("packets", func(b *testing.B) {
+		k := sim.New(1)
+		p := netem.NewPipe(k, "p", cfg)
+		at := sim.Time(0)
+		for i := 0; i < b.N; i++ {
+			var exit sim.Time
+			for sent := 0; sent < 16384; sent += 1500 {
+				chunk := 16384 - sent
+				if chunk > 1500 {
+					chunk = 1500
+				}
+				exit, _ = p.ScheduleAt(at, chunk, rng)
+			}
+			at = exit
+		}
+	})
+}
+
+// BenchmarkPipeScheduleAt measures the per-message cost of the pipe
+// model in isolation.
+func BenchmarkPipeScheduleAt(b *testing.B) {
+	k := sim.New(1)
+	p := netem.NewPipe(k, "b", netem.PipeConfig{Bandwidth: netem.Gbps, Delay: time.Millisecond})
+	rng := rand.New(rand.NewSource(1))
+	at := sim.Time(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		exit, _ := p.ScheduleAt(at, 1500, rng)
+		at = exit
+	}
+}
+
+// BenchmarkBencode measures tracker-response encoding/decoding.
+func BenchmarkBencode(b *testing.B) {
+	peers := make([]any, 50)
+	for i := range peers {
+		peers[i] = map[string]any{"ip": "10.0.0.1", "port": int64(6881)}
+	}
+	resp := map[string]any{"interval": int64(1800), "peers": peers}
+	b.Run("encode", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := bt.Bencode(resp); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	enc, _ := bt.Bencode(resp)
+	b.Run("decode", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := bt.Bdecode(enc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkPieceVerification compares real SHA-1 verification
+// (MemStorage) against sparse tag verification (SparseStorage) — the
+// trade-off behind DESIGN.md decision 4.
+func BenchmarkPieceVerification(b *testing.B) {
+	data := make([]byte, bt.DefaultPieceLength)
+	rand.New(rand.NewSource(1)).Read(data)
+	meta, err := bt.CreateTorrent("bench", data, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("sha1", func(b *testing.B) {
+		b.SetBytes(int64(len(data)))
+		for i := 0; i < b.N; i++ {
+			s := bt.NewMemStorage(meta)
+			for off := 0; off < len(data); off += bt.BlockLength {
+				s.WriteBlock(0, off, data[off:off+bt.BlockLength], 0)
+			}
+			if ok, _ := s.CompletePiece(0); !ok {
+				b.Fatal("verify failed")
+			}
+		}
+	})
+	sparseMeta, _ := bt.SyntheticTorrent("bench", bt.DefaultPieceLength, 0)
+	b.Run("sparse", func(b *testing.B) {
+		b.SetBytes(int64(bt.DefaultPieceLength))
+		for i := 0; i < b.N; i++ {
+			s := bt.NewSparseStorage(sparseMeta)
+			for off := 0; off < bt.DefaultPieceLength; off += bt.BlockLength {
+				s.WriteBlock(0, off, nil, bt.BlockLength)
+			}
+			if ok, _ := s.CompletePiece(0); !ok {
+				b.Fatal("verify failed")
+			}
+		}
+	})
+}
+
+// BenchmarkPickerRarestFirst measures piece selection over a 1024-piece
+// torrent with 40 known peers.
+func BenchmarkPickerRarestFirst(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	pk := bt.NewPicker(1024, rng)
+	pk.RandomFirstThreshold = 0
+	for p := 0; p < 40; p++ {
+		bf := bt.NewBitfield(1024)
+		for i := 0; i < 1024; i++ {
+			if rng.Intn(2) == 0 {
+				bf.Set(i)
+			}
+		}
+		pk.AddBitfield(bf)
+	}
+	have := bt.NewBitfield(1024)
+	peerHas := bt.Full(1024)
+	none := func(int) bool { return false }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if pk.Pick(have, peerHas, none) < 0 {
+			b.Fatal("no pick")
+		}
+	}
+}

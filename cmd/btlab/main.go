@@ -1,0 +1,94 @@
+// Command btlab runs a configurable BitTorrent swarm experiment on the
+// emulated platform and prints per-client completion statistics.
+//
+// Usage:
+//
+//	btlab -clients 160 -seeders 4 -size 16 -interval 10s
+//	btlab -clients 320 -folding 32 -out swarm.dat
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/exp"
+	"repro/internal/metrics"
+	"repro/internal/topo"
+)
+
+func main() {
+	clients := flag.Int("clients", 160, "number of downloading clients")
+	seeders := flag.Int("seeders", 4, "number of initial seeders")
+	sizeMB := flag.Int64("size", 16, "file size in MiB")
+	interval := flag.Duration("interval", 10*time.Second, "client start interval")
+	folding := flag.Int("folding", 0, "virtual nodes per physical node (0 = no cluster layer)")
+	phys := flag.Int("phys", 0, "physical node count (0 = computed)")
+	seed := flag.Int64("seed", 1, "deterministic random seed")
+	horizon := flag.Duration("horizon", 4*time.Hour, "virtual-time cap")
+	link := flag.String("link", "dsl", "access link class: dsl, modem, slow-dsl, fast-dsl, campus, office, lan")
+	out := flag.String("out", "", "write cumulative-data series to this .dat file")
+	flag.Parse()
+
+	class, ok := map[string]topo.LinkClass{
+		"dsl": topo.DSL, "modem": topo.Modem, "slow-dsl": topo.SlowDSL,
+		"fast-dsl": topo.FastDSL, "campus": topo.Campus, "office": topo.Office,
+		"lan": topo.LAN,
+	}[*link]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "btlab: unknown link class %q\n", *link)
+		os.Exit(1)
+	}
+
+	sp := exp.SwarmParams{
+		Clients:       *clients,
+		Seeders:       *seeders,
+		FileSize:      *sizeMB << 20,
+		StartInterval: *interval,
+		Class:         class,
+		Folding:       *folding,
+		PhysNodes:     *phys,
+		Seed:          *seed,
+		Horizon:       *horizon,
+	}
+	wall := time.Now()
+	outcome, err := exp.RunSwarm(sp)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "btlab:", err)
+		os.Exit(1)
+	}
+
+	var finished []float64
+	for _, c := range outcome.Completions {
+		if c > 0 {
+			finished = append(finished, c.Seconds())
+		}
+	}
+	sum := metrics.Summarize(finished)
+	fmt.Printf("swarm: %d clients, %d seeders, %d MiB, start interval %v, folding %d\n",
+		*clients, *seeders, *sizeMB, *interval, *folding)
+	fmt.Printf("completed: %d/%d clients\n", len(finished), *clients)
+	fmt.Printf("completion time: min %.0fs  median %.0fs  p90 %.0fs  max %.0fs\n",
+		sum.Min, sum.Median, sum.P90, sum.Max)
+	fmt.Printf("virtual time: %v   wall time: %v   kernel events: %d\n",
+		time.Duration(outcome.EndedAt), time.Since(wall).Round(time.Millisecond), outcome.Kernel.Events)
+	fmt.Printf("network: %d messages, %.1f MiB delivered\n",
+		outcome.Net.MessagesDelivered, float64(outcome.Net.BytesDelivered)/(1<<20))
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "btlab:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		total := exp.TotalReceivedSeries("total-received-MB", outcome.Pieces)
+		completions := exp.CompletionSeries(outcome.Completions)
+		if err := metrics.WriteDat(f, metrics.Downsample(total, 500), completions); err != nil {
+			fmt.Fprintln(os.Stderr, "btlab:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+}

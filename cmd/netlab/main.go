@@ -1,0 +1,63 @@
+// Command netlab exercises the network-emulation layer: the firewall
+// rule-scaling measurement (Fig 6) and the topology latency check
+// (Fig 7).
+//
+// Usage:
+//
+//	netlab -mode rules -max 50000 -step 10000
+//	netlab -mode topology
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/exp"
+	"repro/internal/metrics"
+)
+
+func main() {
+	mode := flag.String("mode", "rules", "experiment: rules (Fig 6) or topology (Fig 7)")
+	max := flag.Int("max", 50000, "rules mode: maximum rule count")
+	step := flag.Int("step", 10000, "rules mode: rule count step")
+	pings := flag.Int("pings", 10, "pings per measurement")
+	seed := flag.Int64("seed", 1, "deterministic random seed")
+	flag.Parse()
+
+	switch *mode {
+	case "rules":
+		var counts []int
+		for n := 0; n <= *max; n += *step {
+			counts = append(counts, n)
+		}
+		points, err := exp.Fig6(counts, *pings, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "netlab:", err)
+			os.Exit(1)
+		}
+		table := metrics.Table{Header: []string{"rules", "rtt avg", "rtt min", "rtt max"}}
+		for _, pt := range points {
+			table.AddRow(fmt.Sprint(pt.Rules),
+				pt.Stats.Avg.String(), pt.Stats.Min.String(), pt.Stats.Max.String())
+		}
+		fmt.Println("round-trip time vs firewall rules (linear IPFW evaluation)")
+		table.Render(os.Stdout)
+	case "topology":
+		res, err := exp.Fig7(14, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "netlab:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("Fig 7 topology: %d virtual nodes in 5 groups over 3 regions\n", res.Hosts)
+		fmt.Printf("ping 10.1.3.207 -> 10.2.2.117\n")
+		fmt.Printf("  measured RTT:      %v\n", res.RTT)
+		fmt.Printf("  model RTT:         %v\n", res.ModelRTT)
+		fmt.Printf("  emulation overhead: %v\n", res.Overhead)
+		fmt.Printf("decomposition (one way): %v egress + %v inter-group + %v ingress\n",
+			res.EgressDelay, res.GroupDelay, res.IngressDelay)
+	default:
+		fmt.Fprintf(os.Stderr, "netlab: unknown mode %q\n", *mode)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,98 @@
+// Command schedlab runs the paper's scheduler-suitability experiments
+// (Figs 1–3) for one workload and prints a table.
+//
+// Usage:
+//
+//	schedlab -workload cpu -n 1,100,1000
+//	schedlab -workload mem -n 5,25,50
+//	schedlab -workload fair -n 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/metrics"
+	"repro/internal/sched"
+)
+
+func main() {
+	workload := flag.String("workload", "cpu", "workload: cpu (Fig 1), mem (Fig 2), fair (Fig 3)")
+	ns := flag.String("n", "", "comma-separated process counts (defaults per workload)")
+	seed := flag.Int64("seed", 1, "deterministic random seed")
+	flag.Parse()
+
+	counts, err := parseCounts(*ns, *workload)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "schedlab:", err)
+		os.Exit(1)
+	}
+
+	switch *workload {
+	case "cpu", "mem":
+		table := metrics.Table{Header: []string{"N", "ULE", "4BSD", "Linux 2.6"}}
+		for _, n := range counts {
+			row := []string{strconv.Itoa(n)}
+			for _, kind := range []sched.Kind{sched.ULE, sched.FourBSD, sched.LinuxO1} {
+				cfg := sched.DefaultConfig(kind)
+				cfg.Seed = *seed
+				jobs := sched.CPUBoundJobs(n)
+				if *workload == "mem" {
+					jobs = sched.MemoryJobs(n)
+				}
+				res := sched.Run(cfg, jobs)
+				row = append(row, fmt.Sprintf("%.3fs", res.AvgExecTime().Seconds()))
+			}
+			table.AddRow(row...)
+		}
+		fmt.Printf("average per-process execution time (%s workload)\n", *workload)
+		table.Render(os.Stdout)
+	case "fair":
+		n := counts[0]
+		table := metrics.Table{Header: []string{"scheduler", "min", "median", "p90", "max", "spread"}}
+		for _, kind := range []sched.Kind{sched.ULE, sched.FourBSD, sched.LinuxO1} {
+			cfg := sched.DefaultConfig(kind)
+			cfg.Seed = *seed
+			res := sched.Run(cfg, sched.FairnessJobs(n))
+			var xs []float64
+			for _, ft := range res.FinishTimes() {
+				xs = append(xs, ft.Seconds())
+			}
+			s := metrics.Summarize(xs)
+			table.AddRow(kind.String(),
+				fmt.Sprintf("%.1fs", s.Min), fmt.Sprintf("%.1fs", s.Median),
+				fmt.Sprintf("%.1fs", s.P90), fmt.Sprintf("%.1fs", s.Max),
+				fmt.Sprintf("%.1fs", s.Spread()))
+		}
+		fmt.Printf("completion-time distribution of %d concurrent 5s processes\n", n)
+		table.Render(os.Stdout)
+	default:
+		fmt.Fprintf(os.Stderr, "schedlab: unknown workload %q\n", *workload)
+		os.Exit(1)
+	}
+}
+
+func parseCounts(ns, workload string) ([]int, error) {
+	if ns == "" {
+		switch workload {
+		case "cpu":
+			return []int{1, 100, 200, 400, 600, 800, 1000}, nil
+		case "mem":
+			return []int{5, 10, 15, 20, 25, 30, 35, 40, 45, 50}, nil
+		default:
+			return []int{100}, nil
+		}
+	}
+	var counts []int
+	for _, part := range strings.Split(ns, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad count %q", part)
+		}
+		counts = append(counts, n)
+	}
+	return counts, nil
+}

@@ -1,0 +1,120 @@
+package bt
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestBencodeScalars(t *testing.T) {
+	cases := []struct {
+		in   any
+		want string
+	}{
+		{42, "i42e"},
+		{int64(-7), "i-7e"},
+		{"spam", "4:spam"},
+		{[]byte{1, 2, 3}, "3:\x01\x02\x03"},
+		{"", "0:"},
+	}
+	for _, c := range cases {
+		got, err := Bencode(c.in)
+		if err != nil {
+			t.Fatalf("Bencode(%v): %v", c.in, err)
+		}
+		if string(got) != c.want {
+			t.Errorf("Bencode(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestBencodeDictSortsKeys(t *testing.T) {
+	got, err := Bencode(map[string]any{"zebra": 1, "apple": 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "d5:applei2e5:zebrai1ee"
+	if string(got) != want {
+		t.Fatalf("got %q, want %q", got, want)
+	}
+}
+
+func TestBencodeList(t *testing.T) {
+	got, err := Bencode([]any{1, "a", []any{2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "li1e1:ali2eee" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestBencodeUnsupportedType(t *testing.T) {
+	if _, err := Bencode(3.14); err == nil {
+		t.Fatal("floats are not bencodable")
+	}
+}
+
+func TestBdecodeRoundTrip(t *testing.T) {
+	orig := map[string]any{
+		"interval": int64(1800),
+		"peers": []any{
+			map[string]any{"ip": "10.0.0.1", "port": int64(6881)},
+			map[string]any{"ip": "10.0.0.2", "port": int64(6881)},
+		},
+		"blob": []byte{0, 255, 10},
+	}
+	enc, err := Bencode(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Bdecode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dict := dec.(map[string]any)
+	if dict["interval"].(int64) != 1800 {
+		t.Fatal("interval mismatch")
+	}
+	peers := dict["peers"].([]any)
+	if len(peers) != 2 {
+		t.Fatal("peers mismatch")
+	}
+	p0 := peers[0].(map[string]any)
+	if string(p0["ip"].([]byte)) != "10.0.0.1" {
+		t.Fatal("peer ip mismatch")
+	}
+	if !bytes.Equal(dict["blob"].([]byte), []byte{0, 255, 10}) {
+		t.Fatal("blob mismatch")
+	}
+}
+
+func TestBdecodeErrors(t *testing.T) {
+	bad := []string{
+		"", "i42", "4:spa", "x", "l", "d", "di1ei2ee", "i42etrailing",
+		"-1:x", "99:x",
+	}
+	for _, s := range bad {
+		if _, err := Bdecode([]byte(s)); err == nil {
+			t.Errorf("Bdecode(%q) should fail", s)
+		}
+	}
+}
+
+func TestBencodePropertyRoundTrip(t *testing.T) {
+	f := func(n int64, s []byte) bool {
+		enc, err := Bencode(map[string]any{"n": n, "s": s})
+		if err != nil {
+			return false
+		}
+		dec, err := Bdecode(enc)
+		if err != nil {
+			return false
+		}
+		d := dec.(map[string]any)
+		return d["n"].(int64) == n && bytes.Equal(d["s"].([]byte), s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,76 @@
+package bt
+
+// Bitfield tracks piece possession, bit-packed exactly like the wire
+// format (most significant bit of byte 0 is piece 0).
+type Bitfield struct {
+	bits []byte
+	n    int
+	set  int
+}
+
+// NewBitfield returns an empty bitfield for n pieces.
+func NewBitfield(n int) *Bitfield {
+	return &Bitfield{bits: make([]byte, (n+7)/8), n: n}
+}
+
+// BitfieldFromBytes reconstructs a bitfield received on the wire.
+func BitfieldFromBytes(data []byte, n int) *Bitfield {
+	b := NewBitfield(n)
+	copy(b.bits, data)
+	for i := 0; i < n; i++ {
+		if b.Has(i) {
+			b.set++
+		}
+	}
+	return b
+}
+
+// Len returns the number of pieces tracked.
+func (b *Bitfield) Len() int { return b.n }
+
+// Count returns the number of pieces set.
+func (b *Bitfield) Count() int { return b.set }
+
+// Has reports whether piece i is set.
+func (b *Bitfield) Has(i int) bool {
+	if i < 0 || i >= b.n {
+		return false
+	}
+	return b.bits[i/8]&(0x80>>uint(i%8)) != 0
+}
+
+// Set marks piece i. Setting an already-set piece is a no-op.
+func (b *Bitfield) Set(i int) {
+	if i < 0 || i >= b.n || b.Has(i) {
+		return
+	}
+	b.bits[i/8] |= 0x80 >> uint(i%8)
+	b.set++
+}
+
+// Complete reports whether every piece is set.
+func (b *Bitfield) Complete() bool { return b.set == b.n }
+
+// Bytes returns the wire representation. The slice is shared; callers
+// must not mutate it.
+func (b *Bitfield) Bytes() []byte { return b.bits }
+
+// ByteLen returns the wire length in bytes.
+func (b *Bitfield) ByteLen() int { return len(b.bits) }
+
+// Clone returns an independent copy.
+func (b *Bitfield) Clone() *Bitfield {
+	nb := NewBitfield(b.n)
+	copy(nb.bits, b.bits)
+	nb.set = b.set
+	return nb
+}
+
+// Full returns a bitfield with every piece set (a seeder's bitfield).
+func Full(n int) *Bitfield {
+	b := NewBitfield(n)
+	for i := 0; i < n; i++ {
+		b.Set(i)
+	}
+	return b
+}

@@ -1,0 +1,803 @@
+package bt
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/ip"
+	"repro/internal/sim"
+	"repro/internal/vnet"
+)
+
+// ClientConfig tunes a BitTorrent client, defaults matching the 4.x
+// mainline client the paper instruments.
+type ClientConfig struct {
+	// Port is the listening port (mainline: 6881).
+	Port ip.Port
+	// MaxPeers bounds total connections (mainline: ~40 usable).
+	MaxPeers int
+	// MaxInitiate bounds connections we initiate (mainline: 30-ish;
+	// further peers come from inbound connections).
+	MaxInitiate int
+	// UploadSlots is the number of simultaneous unchokes, including the
+	// optimistic one (mainline: 4).
+	UploadSlots int
+	// RechokeInterval is the choker period (mainline: 10 s).
+	RechokeInterval time.Duration
+	// OptimisticRounds is how many rechoke rounds an optimistic unchoke
+	// lasts (mainline: 3 → 30 s).
+	OptimisticRounds int
+	// PipelineDepth is the outstanding-request backlog per peer
+	// (mainline: ~5).
+	PipelineDepth int
+	// RequestTimeout re-issues a block request that has not been
+	// answered (covers choked-then-dropped requests).
+	RequestTimeout time.Duration
+	// EndgameDup is how many peers a block may be requested from in
+	// endgame mode.
+	EndgameDup int
+	// MinPeers triggers a re-announce when the peer set shrinks below.
+	MinPeers int
+	// ReannounceMin is the minimum spacing between need-driven
+	// announces.
+	ReannounceMin time.Duration
+	// Tick is the internal maintenance timer granularity.
+	Tick time.Duration
+}
+
+// DefaultClientConfig mirrors BitTorrent 4.x defaults.
+func DefaultClientConfig() ClientConfig {
+	return ClientConfig{
+		Port:             6881,
+		MaxPeers:         40,
+		MaxInitiate:      30,
+		UploadSlots:      4,
+		RechokeInterval:  10 * time.Second,
+		OptimisticRounds: 3,
+		PipelineDepth:    5,
+		RequestTimeout:   60 * time.Second,
+		EndgameDup:       2,
+		MinPeers:         20,
+		ReannounceMin:    60 * time.Second,
+		Tick:             5 * time.Second,
+	}
+}
+
+// Progress is one point of a client's download trajectory.
+type Progress struct {
+	At     sim.Time
+	Bytes  int64
+	Pieces int
+}
+
+// ClientStats summarizes a client's transfer totals.
+type ClientStats struct {
+	Downloaded int64
+	Uploaded   int64
+	Peers      int
+}
+
+// eventKind discriminates client-loop events.
+type eventKind int
+
+const (
+	evMsg eventKind = iota
+	evPeerJoined
+	evPeerClosed
+	evPeers
+	evTick
+	evStop
+)
+
+type event struct {
+	kind  eventKind
+	peer  *peer
+	msg   Msg
+	peers []ip.Endpoint
+}
+
+// pieceProgress tracks block arrival for an in-progress piece.
+type pieceProgress struct {
+	received uint64 // bitmap
+	count    int
+}
+
+// Client is one BitTorrent node: leecher or seeder depending on its
+// storage. All protocol logic runs in a single simulated goroutine fed
+// by an event queue; peer connections push into the queue via conn
+// sinks, so a client costs O(1) goroutines regardless of peer count.
+type Client struct {
+	h       *vnet.Host
+	meta    *MetaInfo
+	store   Storage
+	cfg     ClientConfig
+	tracker ip.Endpoint
+
+	events *sim.Chan[event]
+	peers  []*peer
+	byAddr map[ip.Addr]*peer
+	picker *Picker
+
+	partials    map[int]*pieceProgress
+	outstanding map[blockKey]int // global request refcounts (endgame > 1)
+
+	started      sim.Time
+	finished     sim.Time
+	done         bool
+	progress     []Progress
+	uploaded     int64
+	downloaded   int64
+	lastAnnounce sim.Time
+	rechokeRound int
+	dialing      int
+
+	stopped  bool
+	listener *vnet.Listener
+
+	// OnComplete, if set, fires once when the download finishes.
+	OnComplete func(c *Client, at sim.Time)
+	// OnPiece, if set, fires at every piece completion (progress
+	// collection for the figures).
+	OnPiece func(c *Client, at sim.Time, piece int, bytesDone int64)
+}
+
+// NewClient creates a client on host h for the given torrent and
+// storage, announcing to tracker. Call Start to run it.
+func NewClient(h *vnet.Host, meta *MetaInfo, store Storage, tracker ip.Endpoint, cfg ClientConfig) *Client {
+	k := h.Network().Kernel()
+	c := &Client{
+		h:           h,
+		meta:        meta,
+		store:       store,
+		cfg:         cfg,
+		tracker:     tracker,
+		events:      sim.NewChan[event](k, 0),
+		byAddr:      make(map[ip.Addr]*peer),
+		picker:      NewPicker(meta.NumPieces(), k.Rand()),
+		partials:    make(map[int]*pieceProgress),
+		outstanding: make(map[blockKey]int),
+	}
+	if store.Bitfield().Complete() {
+		c.done = true
+	}
+	return c
+}
+
+// Host returns the client's virtual node.
+func (c *Client) Host() *vnet.Host { return c.h }
+
+// Done reports whether the download has completed.
+func (c *Client) Done() bool { return c.done }
+
+// FinishedAt returns the completion instant (zero until done; seeders
+// report zero).
+func (c *Client) FinishedAt() sim.Time { return c.finished }
+
+// StartedAt returns the instant Start ran.
+func (c *Client) StartedAt() sim.Time { return c.started }
+
+// Progress returns the piece-completion trajectory.
+func (c *Client) Progress() []Progress { return c.progress }
+
+// Stats returns transfer totals.
+func (c *Client) Stats() ClientStats {
+	return ClientStats{Downloaded: c.downloaded, Uploaded: c.uploaded, Peers: len(c.peers)}
+}
+
+// BytesDone returns verified bytes.
+func (c *Client) BytesDone() int64 {
+	var n int64
+	bf := c.store.Bitfield()
+	for i := 0; i < bf.Len(); i++ {
+		if bf.Has(i) {
+			n += int64(c.meta.PieceSize(i))
+		}
+	}
+	return n
+}
+
+// Start launches the client's goroutines: listener, ticker, announcer
+// and the main event loop.
+func (c *Client) Start() {
+	k := c.h.Network().Kernel()
+	name := "bt-" + c.h.Addr().String()
+	k.Go(name, func(p *sim.Proc) {
+		c.started = p.Now()
+		l, err := c.h.Listen(p, c.cfg.Port)
+		if err != nil {
+			return
+		}
+		c.listener = l
+		p.Go(name+"/accept", func(p *sim.Proc) { c.acceptLoop(p, l) })
+		p.Go(name+"/tick", func(p *sim.Proc) {
+			for !c.stopped {
+				p.Sleep(c.cfg.Tick)
+				c.events.TrySend(event{kind: evTick})
+			}
+		})
+		c.announceAsync(p, EventStarted)
+		c.loop(p)
+	})
+}
+
+// Stop takes the client offline abruptly (a churn departure): it closes
+// the listener and every peer connection, tells the tracker, and ends
+// the event loop. The storage keeps its verified pieces, so a later
+// client on the same host can resume from them.
+func (c *Client) Stop() {
+	if c.stopped {
+		return
+	}
+	c.stopped = true
+	c.events.TrySend(event{kind: evStop})
+}
+
+// Stopped reports whether Stop has been called.
+func (c *Client) Stopped() bool { return c.stopped }
+
+// onStop runs inside the event loop when a Stop request arrives.
+func (c *Client) onStop(p *sim.Proc) {
+	if c.listener != nil {
+		c.listener.Close()
+	}
+	for _, pr := range c.peers {
+		pr.closed = true
+		pr.conn.Close(p)
+	}
+	c.peers = nil
+	c.byAddr = make(map[ip.Addr]*peer)
+	c.announceAsync(p, EventStopped)
+	c.events.Close()
+}
+
+// left reports bytes remaining, for tracker announces.
+func (c *Client) left() int64 { return c.meta.Length - c.BytesDone() }
+
+// announceAsync runs a tracker announce in a transient goroutine and
+// feeds the resulting peer list back as an event.
+func (c *Client) announceAsync(p *sim.Proc, evt string) {
+	c.lastAnnounce = p.Now()
+	p.Go("bt-announce", func(p *sim.Proc) {
+		peers, err := AnnounceRequest(p, c.h, c.tracker, c.meta.InfoHash(),
+			c.cfg.Port, evt, c.left(), DefaultNumWant)
+		if err != nil {
+			return
+		}
+		c.events.TrySend(event{kind: evPeers, peers: peers})
+	})
+}
+
+// acceptLoop admits inbound connections: exchange handshakes in a
+// transient goroutine, then hand the peer to the main loop.
+func (c *Client) acceptLoop(p *sim.Proc, l *vnet.Listener) {
+	for {
+		conn, err := l.Accept(p)
+		if err != nil {
+			return
+		}
+		cn := conn
+		p.Go("bt-handshake-in", func(p *sim.Proc) {
+			hs, ok := recvHandshake(p, cn, 30*time.Second)
+			if !ok || hs.InfoHash != c.meta.InfoHash() {
+				cn.Close(p)
+				return
+			}
+			if err := sendHandshake(p, cn, c.handshake()); err != nil {
+				cn.Close(p)
+				return
+			}
+			c.admit(cn, false)
+		})
+	}
+}
+
+func (c *Client) handshake() Handshake {
+	var id [20]byte
+	copy(id[:], fmt.Sprintf("%-20s", "go-"+c.h.Addr().String()))
+	return Handshake{InfoHash: c.meta.InfoHash(), PeerID: id}
+}
+
+// dialPeer initiates an outbound connection in a transient goroutine.
+func (c *Client) dialPeer(p *sim.Proc, ep ip.Endpoint) {
+	c.dialing++
+	p.Go("bt-handshake-out", func(p *sim.Proc) {
+		defer c.events.TrySend(event{kind: evMsg, msg: Msg{}, peer: nil}) // nudge loop (dialing--)
+		conn, err := c.h.Dial(p, ep)
+		if err != nil {
+			return
+		}
+		if err := sendHandshake(p, conn, c.handshake()); err != nil {
+			conn.Close(p)
+			return
+		}
+		hs, ok := recvHandshake(p, conn, 30*time.Second)
+		if !ok || hs.InfoHash != c.meta.InfoHash() {
+			conn.Close(p)
+			return
+		}
+		c.admit(conn, true)
+	})
+}
+
+// admit registers an established, handshaken connection with the main
+// loop. Runs in transient goroutines.
+func (c *Client) admit(conn *vnet.Conn, initiated bool) {
+	pr := newPeer(conn, conn.RemoteAddr().Addr, c.meta.NumPieces(), initiated)
+	conn.SetSink(func(pk vnet.Packet, closed bool) {
+		if closed {
+			c.events.TrySend(event{kind: evPeerClosed, peer: pr})
+			return
+		}
+		if m, ok := pk.Meta.(Msg); ok {
+			c.events.TrySend(event{kind: evMsg, peer: pr, msg: m})
+		}
+	})
+	c.events.TrySend(event{kind: evPeerJoined, peer: pr})
+}
+
+// loop is the client's single-threaded protocol engine.
+func (c *Client) loop(p *sim.Proc) {
+	for {
+		ev, err := c.events.Recv(p)
+		if err != nil {
+			return
+		}
+		switch ev.kind {
+		case evPeerJoined:
+			c.onJoin(p, ev.peer)
+		case evPeerClosed:
+			c.onClose(p, ev.peer)
+		case evMsg:
+			if ev.peer == nil {
+				c.dialing-- // dial attempt resolved (possibly failed)
+				continue
+			}
+			if ev.peer.closed {
+				continue
+			}
+			c.onMsg(p, ev.peer, ev.msg)
+		case evPeers:
+			if !c.stopped {
+				c.onPeers(p, ev.peers)
+			}
+		case evTick:
+			if !c.stopped {
+				c.onTick(p)
+			}
+		case evStop:
+			c.onStop(p)
+			return
+		}
+	}
+}
+
+func (c *Client) onJoin(p *sim.Proc, pr *peer) {
+	if pr.initiated {
+		c.dialing--
+	}
+	if len(c.peers) >= c.cfg.MaxPeers || c.byAddr[pr.addr] != nil || pr.addr == c.h.Addr() {
+		pr.conn.Close(p)
+		return
+	}
+	c.peers = append(c.peers, pr)
+	c.byAddr[pr.addr] = pr
+	if c.store.Bitfield().Count() > 0 {
+		bf := c.store.Bitfield()
+		pr.send(p, Msg{ID: MsgBitfield, Bits: bf.Bytes()})
+	}
+}
+
+func (c *Client) onClose(p *sim.Proc, pr *peer) {
+	if pr.closed {
+		return
+	}
+	pr.closed = true
+	pr.conn.Close(p)
+	for i, x := range c.peers {
+		if x == pr {
+			c.peers = append(c.peers[:i], c.peers[i+1:]...)
+			break
+		}
+	}
+	delete(c.byAddr, pr.addr)
+	c.picker.RemoveBitfield(pr.bits)
+	for bk := range pr.inflight {
+		c.releaseRequest(bk)
+	}
+}
+
+// releaseRequest drops one outstanding refcount for a block.
+func (c *Client) releaseRequest(bk blockKey) {
+	if n := c.outstanding[bk]; n > 1 {
+		c.outstanding[bk] = n - 1
+	} else {
+		delete(c.outstanding, bk)
+	}
+}
+
+func (c *Client) onMsg(p *sim.Proc, pr *peer, m Msg) {
+	switch m.ID {
+	case MsgBitfield:
+		c.picker.RemoveBitfield(pr.bits)
+		pr.bits = BitfieldFromBytes(m.Bits, c.meta.NumPieces())
+		c.picker.AddBitfield(pr.bits)
+		c.updateInterest(p, pr)
+	case MsgHave:
+		if !pr.bits.Has(m.Index) {
+			pr.bits.Set(m.Index)
+			c.picker.AddHave(m.Index)
+		}
+		c.updateInterest(p, pr)
+	case MsgChoke:
+		pr.peerChoking = true
+		for bk := range pr.inflight {
+			c.releaseRequest(bk)
+			delete(pr.inflight, bk)
+		}
+	case MsgUnchoke:
+		pr.peerChoking = false
+		c.fillRequests(p, pr)
+	case MsgInterested:
+		pr.peerInterested = true
+	case MsgNotInterested:
+		pr.peerInterested = false
+	case MsgRequest:
+		c.onRequest(p, pr, m)
+	case MsgPiece:
+		c.onBlock(p, pr, m)
+	case MsgCancel:
+		// Uploads are sent immediately on request in this model, so a
+		// cancel that arrives later has nothing to remove.
+	}
+}
+
+// updateInterest recomputes and signals our interest in a peer.
+func (c *Client) updateInterest(p *sim.Proc, pr *peer) {
+	want := false
+	if !c.done {
+		have := c.store.Bitfield()
+		for i := 0; i < pr.bits.Len(); i++ {
+			if pr.bits.Has(i) && !have.Has(i) {
+				want = true
+				break
+			}
+		}
+	}
+	if want != pr.amInterested {
+		pr.amInterested = want
+		id := MsgNotInterested
+		if want {
+			id = MsgInterested
+		}
+		pr.send(p, Msg{ID: id})
+	}
+}
+
+// onRequest serves an upload request if the peer is unchoked.
+func (c *Client) onRequest(p *sim.Proc, pr *peer, m Msg) {
+	if pr.amChoking {
+		return // stale request racing our choke
+	}
+	if m.Length <= 0 || m.Length > 128*1024 {
+		return
+	}
+	data, ok := c.store.ReadBlock(m.Index, m.Begin, m.Length)
+	if !ok && !c.store.HavePiece(m.Index) {
+		return
+	}
+	out := Msg{ID: MsgPiece, Index: m.Index, Begin: m.Begin, Length: m.Length, Block: data}
+	if data == nil {
+		if ss, isSparse := c.store.(*SparseStorage); isSparse {
+			out.Tag = ss.Tag(m.Index)
+		}
+	}
+	if pr.send(p, out) == nil {
+		n := int64(out.BlockLen())
+		c.uploaded += n
+		pr.upRate.Add(p.Now(), n)
+	}
+}
+
+// onBlock ingests a downloaded block.
+func (c *Client) onBlock(p *sim.Proc, pr *peer, m Msg) {
+	bk := blockKey{m.Index, m.Begin}
+	if _, was := pr.inflight[bk]; was {
+		delete(pr.inflight, bk)
+		c.releaseRequest(bk)
+	}
+	n := int64(m.BlockLen())
+	c.downloaded += n
+	pr.downRate.Add(p.Now(), n)
+
+	if c.store.HavePiece(m.Index) || c.done {
+		c.fillRequests(p, pr)
+		return
+	}
+	pp := c.partials[m.Index]
+	if pp == nil {
+		pp = &pieceProgress{}
+		c.partials[m.Index] = pp
+		c.picker.MarkPartial(m.Index)
+	}
+	b := m.Begin / BlockLength
+	bit := uint64(1) << uint(b)
+	if pp.received&bit != 0 {
+		c.fillRequests(p, pr) // endgame duplicate
+		return
+	}
+	if m.Block != nil {
+		if err := c.store.WriteBlock(m.Index, m.Begin, m.Block, 0); err != nil {
+			return
+		}
+	} else {
+		if err := c.store.WriteBlock(m.Index, m.Begin, nil, m.Length); err != nil {
+			return
+		}
+	}
+	pp.received |= bit
+	pp.count++
+	if pp.count == c.meta.BlocksIn(m.Index) {
+		okPiece, err := c.store.CompletePiece(m.Index)
+		delete(c.partials, m.Index)
+		c.picker.ClearPartial(m.Index)
+		if err == nil && okPiece {
+			c.onPieceDone(p, m.Index)
+		} else {
+			// Hash failure: forget the piece and re-download.
+			for b := 0; b < c.meta.BlocksIn(m.Index); b++ {
+				delete(c.outstanding, blockKey{m.Index, b * BlockLength})
+			}
+		}
+	}
+	c.fillRequests(p, pr)
+}
+
+// onPieceDone broadcasts Have, records progress and checks completion.
+func (c *Client) onPieceDone(p *sim.Proc, piece int) {
+	now := p.Now()
+	bytesDone := c.BytesDone()
+	c.progress = append(c.progress, Progress{At: now, Bytes: bytesDone, Pieces: c.store.Bitfield().Count()})
+	if c.OnPiece != nil {
+		c.OnPiece(c, now, piece, bytesDone)
+	}
+	for _, pr := range c.peers {
+		pr.send(p, Msg{ID: MsgHave, Index: piece})
+		// Cancel endgame duplicates for this piece.
+		for bk := range pr.inflight {
+			if bk.piece == piece {
+				pr.send(p, Msg{ID: MsgCancel, Index: bk.piece, Begin: bk.begin, Length: c.meta.BlockSize(bk.piece, bk.begin/BlockLength)})
+				delete(pr.inflight, bk)
+				c.releaseRequest(bk)
+			}
+		}
+	}
+	if c.store.Bitfield().Complete() && !c.done {
+		c.done = true
+		c.finished = now
+		c.announceAsync(p, EventCompleted)
+		for _, pr := range c.peers {
+			c.updateInterest(p, pr)
+		}
+		if c.OnComplete != nil {
+			c.OnComplete(c, now)
+		}
+	}
+}
+
+// onPeers dials tracker-provided peers we are not yet connected to.
+func (c *Client) onPeers(p *sim.Proc, eps []ip.Endpoint) {
+	for _, ep := range eps {
+		if len(c.peers)+c.dialing >= c.cfg.MaxInitiate {
+			return
+		}
+		if ep.Addr == c.h.Addr() || c.byAddr[ep.Addr] != nil {
+			continue
+		}
+		c.dialPeer(p, ep)
+	}
+}
+
+// onTick drives the choker, request timeouts and re-announces.
+func (c *Client) onTick(p *sim.Proc) {
+	now := p.Now()
+	// Request timeouts.
+	for _, pr := range c.peers {
+		for bk, at := range pr.inflight {
+			if now.Sub(at) > c.cfg.RequestTimeout {
+				delete(pr.inflight, bk)
+				c.releaseRequest(bk)
+			}
+		}
+		if !pr.peerChoking && pr.amInterested {
+			c.fillRequests(p, pr)
+		}
+	}
+	// Rechoke on its own period (tick granularity).
+	if now.Sub(c.started) >= time.Duration(c.rechokeRound+1)*c.cfg.RechokeInterval {
+		c.rechokeRound++
+		c.rechoke(p)
+	}
+	// Re-announce when starved for peers.
+	if !c.done && len(c.peers) < c.cfg.MinPeers &&
+		now.Sub(c.lastAnnounce) >= c.cfg.ReannounceMin {
+		c.announceAsync(p, EventEmpty)
+	}
+}
+
+// rechoke implements tit-for-tat: unchoke the UploadSlots-1 best
+// interested peers (by their upload rate to us while leeching, by our
+// upload rate to them while seeding) plus one optimistic unchoke
+// rotated every OptimisticRounds rounds.
+func (c *Client) rechoke(p *sim.Proc) {
+	now := p.Now()
+	rate := func(pr *peer) float64 {
+		if c.done {
+			return pr.upRate.Rate(now)
+		}
+		return pr.downRate.Rate(now)
+	}
+	// Rank interested peers.
+	var interested []*peer
+	for _, pr := range c.peers {
+		if pr.peerInterested {
+			interested = append(interested, pr)
+		}
+	}
+	for i := 1; i < len(interested); i++ {
+		for j := i; j > 0 && rate(interested[j]) > rate(interested[j-1]); j-- {
+			interested[j], interested[j-1] = interested[j-1], interested[j]
+		}
+	}
+	regular := c.cfg.UploadSlots - 1
+	unchoke := make(map[*peer]bool)
+	for i := 0; i < len(interested) && i < regular; i++ {
+		unchoke[interested[i]] = true
+	}
+	// Optimistic slot: rotate every OptimisticRounds rounds.
+	rotate := c.rechokeRound%c.cfg.OptimisticRounds == 1 || c.cfg.OptimisticRounds <= 1
+	var current *peer
+	for _, pr := range c.peers {
+		if pr.optimistic {
+			current = pr
+		}
+	}
+	if current == nil || rotate || unchoke[current] {
+		if current != nil {
+			current.optimistic = false
+		}
+		var candidates []*peer
+		for _, pr := range interested {
+			if !unchoke[pr] {
+				candidates = append(candidates, pr)
+			}
+		}
+		if len(candidates) > 0 {
+			current = candidates[c.h.Network().Kernel().Rand().Intn(len(candidates))]
+			current.optimistic = true
+		} else {
+			current = nil
+		}
+	}
+	if current != nil {
+		unchoke[current] = true
+	}
+	for _, pr := range c.peers {
+		want := unchoke[pr]
+		if want && pr.amChoking {
+			pr.amChoking = false
+			pr.send(p, Msg{ID: MsgUnchoke})
+		} else if !want && !pr.amChoking {
+			pr.amChoking = true
+			pr.send(p, Msg{ID: MsgChoke})
+		}
+	}
+}
+
+// fillRequests keeps a peer's request pipeline full.
+func (c *Client) fillRequests(p *sim.Proc, pr *peer) {
+	if c.done || pr.peerChoking || !pr.amInterested || pr.closed {
+		return
+	}
+	now := p.Now()
+	for len(pr.inflight) < c.cfg.PipelineDepth {
+		piece, begin, length := c.nextBlock(pr)
+		if piece < 0 {
+			return
+		}
+		bk := blockKey{piece, begin}
+		pr.inflight[bk] = now
+		c.outstanding[bk]++
+		if pr.send(p, Msg{ID: MsgRequest, Index: piece, Begin: begin, Length: length}) != nil {
+			return
+		}
+	}
+}
+
+// nextBlock selects the next block to request from a peer: first an
+// unrequested block of a partial piece, then a fresh piece from the
+// picker, then endgame duplication.
+func (c *Client) nextBlock(pr *peer) (piece, begin, length int) {
+	have := c.store.Bitfield()
+	// 1. Unrequested blocks of partial pieces the peer has.
+	for pi, pp := range c.partials {
+		if !pr.bits.Has(pi) {
+			continue
+		}
+		if b := c.freeBlock(pi, pp, pr, 0); b >= 0 {
+			return pi, b * BlockLength, c.meta.BlockSize(pi, b)
+		}
+	}
+	// 2. A fresh piece.
+	inFlight := func(i int) bool {
+		// A piece is saturated when every block is requested.
+		if c.partials[i] != nil {
+			return c.freeBlockAny(i, c.partials[i], 0) < 0
+		}
+		return c.pieceSaturated(i)
+	}
+	pi := c.picker.Pick(have, pr.bits, inFlight)
+	if pi >= 0 && c.partials[pi] == nil {
+		// Start the piece: request block 0 (further blocks follow as
+		// the pipeline refills).
+		if c.outstanding[blockKey{pi, 0}] == 0 {
+			c.picker.MarkPartial(pi)
+			c.partials[pi] = &pieceProgress{}
+			return pi, 0, c.meta.BlockSize(pi, 0)
+		}
+	} else if pi >= 0 {
+		if b := c.freeBlock(pi, c.partials[pi], pr, 0); b >= 0 {
+			return pi, b * BlockLength, c.meta.BlockSize(pi, b)
+		}
+	}
+	// 3. Endgame: duplicate outstanding blocks up to EndgameDup.
+	for pi, pp := range c.partials {
+		if !pr.bits.Has(pi) {
+			continue
+		}
+		if b := c.freeBlock(pi, pp, pr, c.cfg.EndgameDup-1); b >= 0 {
+			return pi, b * BlockLength, c.meta.BlockSize(pi, b)
+		}
+	}
+	return -1, 0, 0
+}
+
+// freeBlock finds a block of piece pi not yet received, not in flight
+// at this peer, and with a global outstanding count ≤ maxDup.
+func (c *Client) freeBlock(pi int, pp *pieceProgress, pr *peer, maxDup int) int {
+	n := c.meta.BlocksIn(pi)
+	for b := 0; b < n; b++ {
+		if pp.received&(1<<uint(b)) != 0 {
+			continue
+		}
+		bk := blockKey{pi, b * BlockLength}
+		if _, mine := pr.inflight[bk]; mine {
+			continue
+		}
+		if c.outstanding[bk] > maxDup {
+			continue
+		}
+		return b
+	}
+	return -1
+}
+
+// freeBlockAny is freeBlock without the per-peer exclusion.
+func (c *Client) freeBlockAny(pi int, pp *pieceProgress, maxDup int) int {
+	n := c.meta.BlocksIn(pi)
+	for b := 0; b < n; b++ {
+		if pp.received&(1<<uint(b)) != 0 {
+			continue
+		}
+		if c.outstanding[blockKey{pi, b * BlockLength}] > maxDup {
+			continue
+		}
+		return b
+	}
+	return -1
+}
+
+// pieceSaturated reports whether a not-yet-started piece's first block
+// is already outstanding (conservative saturation check).
+func (c *Client) pieceSaturated(i int) bool {
+	return c.outstanding[blockKey{i, 0}] > 0
+}

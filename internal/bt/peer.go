@@ -1,0 +1,72 @@
+package bt
+
+import (
+	"time"
+
+	"repro/internal/ip"
+	"repro/internal/sim"
+	"repro/internal/vnet"
+)
+
+// blockKey identifies one block of the torrent.
+type blockKey struct {
+	piece, begin int
+}
+
+// peer is the client-side state of one remote peer connection,
+// following the wire protocol's four-flag model.
+type peer struct {
+	conn      *vnet.Conn
+	addr      ip.Addr // remote host identity (one client per host)
+	bits      *Bitfield
+	initiated bool // we dialed them
+
+	amChoking      bool // we choke them
+	amInterested   bool // we want their pieces
+	peerChoking    bool // they choke us
+	peerInterested bool // they want ours
+
+	// inflight tracks requests we sent and when, for timeout re-issue.
+	inflight map[blockKey]sim.Time
+
+	downRate *RateEstimator // payload bytes they sent us
+	upRate   *RateEstimator // payload bytes we sent them
+
+	optimistic bool
+	closed     bool
+}
+
+func newPeer(conn *vnet.Conn, addr ip.Addr, numPieces int, initiated bool) *peer {
+	return &peer{
+		conn:        conn,
+		addr:        addr,
+		bits:        NewBitfield(numPieces),
+		initiated:   initiated,
+		amChoking:   true,
+		peerChoking: true,
+		inflight:    make(map[blockKey]sim.Time),
+		downRate:    NewRateEstimator(20 * time.Second),
+		upRate:      NewRateEstimator(20 * time.Second),
+	}
+}
+
+// send transmits a wire message as a sparse payload of spec-accurate
+// size. Real piece bytes ride in msg.Block and count toward the size.
+func (pr *peer) send(p *sim.Proc, m Msg) error {
+	return pr.conn.SendMeta(p, m.WireSize(), m)
+}
+
+// sendHandshake transmits the 68-byte handshake.
+func sendHandshake(p *sim.Proc, c *vnet.Conn, hs Handshake) error {
+	return c.SendMeta(p, HandshakeSize, hs)
+}
+
+// recvHandshake blocks for the peer's handshake with a deadline.
+func recvHandshake(p *sim.Proc, c *vnet.Conn, timeout time.Duration) (Handshake, bool) {
+	pk, ok, err := c.RecvTimeout(p, timeout)
+	if err != nil || !ok {
+		return Handshake{}, false
+	}
+	hs, isHS := pk.Meta.(Handshake)
+	return hs, isHS
+}

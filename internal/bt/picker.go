@@ -1,0 +1,133 @@
+package bt
+
+import "math/rand"
+
+// Picker implements the mainline client's piece-selection policy:
+//
+//   - strict priority to finishing partially downloaded pieces;
+//   - random first pieces while the client has fewer than a threshold
+//     of complete pieces (get something uploadable fast);
+//   - rarest-first afterwards, with random tie-breaking among equally
+//     rare pieces;
+//   - endgame (handled by the client) once everything is requested.
+//
+// The picker tracks per-piece availability from peers' bitfields and
+// have messages.
+type Picker struct {
+	meta    *Picks
+	avail   []int // how many known peers have each piece
+	partial map[int]bool
+	rng     *rand.Rand
+
+	// RandomFirstThreshold is how many pieces to pick randomly before
+	// switching to rarest-first (mainline: 1 in 4.x; configurable).
+	RandomFirstThreshold int
+}
+
+// Picks carries the sizing the picker needs (decoupled from MetaInfo
+// for testability).
+type Picks struct {
+	NumPieces int
+}
+
+// NewPicker returns a picker for n pieces.
+func NewPicker(n int, rng *rand.Rand) *Picker {
+	return &Picker{
+		meta:                 &Picks{NumPieces: n},
+		avail:                make([]int, n),
+		partial:              make(map[int]bool),
+		rng:                  rng,
+		RandomFirstThreshold: 1,
+	}
+}
+
+// AddBitfield counts a newly known peer's pieces.
+func (pk *Picker) AddBitfield(b *Bitfield) {
+	for i := 0; i < b.Len(); i++ {
+		if b.Has(i) {
+			pk.avail[i]++
+		}
+	}
+}
+
+// RemoveBitfield removes a departed peer's pieces from the counts.
+func (pk *Picker) RemoveBitfield(b *Bitfield) {
+	if b == nil {
+		return
+	}
+	for i := 0; i < b.Len(); i++ {
+		if b.Has(i) {
+			pk.avail[i]--
+		}
+	}
+}
+
+// AddHave counts one piece announced by a peer.
+func (pk *Picker) AddHave(i int) {
+	if i >= 0 && i < len(pk.avail) {
+		pk.avail[i]++
+	}
+}
+
+// Availability returns how many known peers have piece i.
+func (pk *Picker) Availability(i int) int { return pk.avail[i] }
+
+// MarkPartial records that a piece has outstanding or completed blocks
+// and should be finished before new pieces are started.
+func (pk *Picker) MarkPartial(i int) { pk.partial[i] = true }
+
+// ClearPartial removes a piece from the partial set (completed or
+// abandoned).
+func (pk *Picker) ClearPartial(i int) { delete(pk.partial, i) }
+
+// Pick chooses the next piece to download. have is the local bitfield;
+// peerHas is the candidate peer's; inFlight reports pieces already fully
+// requested. It returns -1 when the peer has nothing useful.
+func (pk *Picker) Pick(have, peerHas *Bitfield, inFlight func(int) bool) int {
+	// 1. Finish partial pieces first.
+	best := -1
+	bestAvail := int(^uint(0) >> 1)
+	for i := range pk.partial {
+		if have.Has(i) || !peerHas.Has(i) || inFlight(i) {
+			continue
+		}
+		if pk.avail[i] < bestAvail {
+			best, bestAvail = i, pk.avail[i]
+		}
+	}
+	if best >= 0 {
+		return best
+	}
+	// 2. Random first pieces.
+	if have.Count() < pk.RandomFirstThreshold {
+		var candidates []int
+		for i := 0; i < pk.meta.NumPieces; i++ {
+			if !have.Has(i) && peerHas.Has(i) && !inFlight(i) {
+				candidates = append(candidates, i)
+			}
+		}
+		if len(candidates) == 0 {
+			return -1
+		}
+		return candidates[pk.rng.Intn(len(candidates))]
+	}
+	// 3. Rarest first with random tie-break.
+	var ties []int
+	for i := 0; i < pk.meta.NumPieces; i++ {
+		if have.Has(i) || !peerHas.Has(i) || inFlight(i) {
+			continue
+		}
+		switch {
+		case best < 0 || pk.avail[i] < bestAvail:
+			best, bestAvail = i, pk.avail[i]
+			ties = ties[:0]
+			ties = append(ties, i)
+		case pk.avail[i] == bestAvail:
+			ties = append(ties, i)
+		}
+	}
+	if len(ties) > 1 {
+		return ties[pk.rng.Intn(len(ties))]
+	}
+	return best
+}

@@ -1,0 +1,64 @@
+package bt
+
+import (
+	"time"
+
+	"repro/internal/sim"
+)
+
+// RateEstimator measures transfer rate over a sliding window, like the
+// mainline client's 20-second rate estimate that drives choking
+// decisions.
+type RateEstimator struct {
+	window   time.Duration
+	samples  []rateSample
+	total    int64 // bytes within the window
+	lifetime int64 // bytes ever recorded
+}
+
+type rateSample struct {
+	at    sim.Time
+	bytes int64
+}
+
+// NewRateEstimator returns an estimator with the given window
+// (the mainline client uses 20 s).
+func NewRateEstimator(window time.Duration) *RateEstimator {
+	if window <= 0 {
+		window = 20 * time.Second
+	}
+	return &RateEstimator{window: window}
+}
+
+// Add records bytes transferred at instant now.
+func (r *RateEstimator) Add(now sim.Time, bytes int64) {
+	r.samples = append(r.samples, rateSample{at: now, bytes: bytes})
+	r.total += bytes
+	r.lifetime += bytes
+	r.trim(now)
+}
+
+func (r *RateEstimator) trim(now sim.Time) {
+	cutoff := now.Add(-r.window)
+	i := 0
+	for i < len(r.samples) && r.samples[i].at < cutoff {
+		r.total -= r.samples[i].bytes
+		i++
+	}
+	if i > 0 {
+		r.samples = append(r.samples[:0], r.samples[i:]...)
+	}
+}
+
+// Rate returns bytes/second over the window ending at now.
+func (r *RateEstimator) Rate(now sim.Time) float64 {
+	r.trim(now)
+	if len(r.samples) == 0 {
+		return 0
+	}
+	span := r.window.Seconds()
+	return float64(r.total) / span
+}
+
+// TotalBytes returns all bytes ever recorded (not windowed).
+func (r *RateEstimator) TotalBytes() int64 { return r.lifetime }

@@ -1,0 +1,196 @@
+package bt
+
+import (
+	"crypto/sha1"
+	"fmt"
+)
+
+// Storage holds a torrent's content on one node and verifies pieces.
+// Two implementations: MemStorage keeps real bytes and verifies real
+// SHA-1 hashes; SparseStorage tracks only completion state and verifies
+// synthetic piece tags, for swarms too large to materialize.
+type Storage interface {
+	// ReadBlock returns the payload of the given block for uploading.
+	// The bool reports whether the piece is available.
+	ReadBlock(piece, begin, length int) ([]byte, bool)
+	// WriteBlock stores a downloaded block.
+	WriteBlock(piece, begin int, data []byte, sparseLen int) error
+	// CompletePiece verifies a fully downloaded piece against the
+	// metainfo; on success the piece becomes readable.
+	CompletePiece(piece int) (bool, error)
+	// HavePiece reports whether a piece is complete and verified.
+	HavePiece(piece int) bool
+	// Bitfield returns the current possession map. The caller must not
+	// mutate it.
+	Bitfield() *Bitfield
+}
+
+// MemStorage is byte-accurate storage with real SHA-1 verification.
+type MemStorage struct {
+	meta *MetaInfo
+	data []byte
+	have *Bitfield
+}
+
+// NewMemStorage returns empty storage for a leecher.
+func NewMemStorage(meta *MetaInfo) *MemStorage {
+	return &MemStorage{
+		meta: meta,
+		data: make([]byte, meta.Length),
+		have: NewBitfield(meta.NumPieces()),
+	}
+}
+
+// NewSeededMemStorage returns storage pre-filled with content, whose
+// hashes must match the metainfo (a seeder).
+func NewSeededMemStorage(meta *MetaInfo, data []byte) (*MemStorage, error) {
+	if int64(len(data)) != meta.Length {
+		return nil, fmt.Errorf("bt: content is %d bytes, torrent says %d", len(data), meta.Length)
+	}
+	s := &MemStorage{meta: meta, data: append([]byte(nil), data...), have: NewBitfield(meta.NumPieces())}
+	for i := 0; i < meta.NumPieces(); i++ {
+		if sha1.Sum(s.pieceBytes(i)) != meta.PieceHashes[i] {
+			return nil, fmt.Errorf("bt: piece %d hash mismatch", i)
+		}
+		s.have.Set(i)
+	}
+	return s, nil
+}
+
+func (s *MemStorage) pieceBytes(i int) []byte {
+	off := int64(i) * int64(s.meta.PieceLength)
+	end := off + int64(s.meta.PieceSize(i))
+	return s.data[off:end]
+}
+
+// ReadBlock implements Storage.
+func (s *MemStorage) ReadBlock(piece, begin, length int) ([]byte, bool) {
+	if !s.have.Has(piece) {
+		return nil, false
+	}
+	pb := s.pieceBytes(piece)
+	if begin < 0 || begin+length > len(pb) {
+		return nil, false
+	}
+	out := make([]byte, length)
+	copy(out, pb[begin:begin+length])
+	return out, true
+}
+
+// WriteBlock implements Storage. sparseLen is ignored: real bytes are
+// required.
+func (s *MemStorage) WriteBlock(piece, begin int, data []byte, sparseLen int) error {
+	if data == nil {
+		return fmt.Errorf("bt: MemStorage needs real block bytes (got sparse of %d)", sparseLen)
+	}
+	off := int64(piece)*int64(s.meta.PieceLength) + int64(begin)
+	if off < 0 || off+int64(len(data)) > s.meta.Length {
+		return fmt.Errorf("bt: block out of range (piece %d begin %d)", piece, begin)
+	}
+	copy(s.data[off:], data)
+	return nil
+}
+
+// CompletePiece implements Storage with a real SHA-1 check.
+func (s *MemStorage) CompletePiece(piece int) (bool, error) {
+	if piece < 0 || piece >= s.meta.NumPieces() {
+		return false, fmt.Errorf("bt: piece %d out of range", piece)
+	}
+	if sha1.Sum(s.pieceBytes(piece)) != s.meta.PieceHashes[piece] {
+		return false, nil
+	}
+	s.have.Set(piece)
+	return true, nil
+}
+
+// HavePiece implements Storage.
+func (s *MemStorage) HavePiece(piece int) bool { return s.have.Has(piece) }
+
+// Bitfield implements Storage.
+func (s *MemStorage) Bitfield() *Bitfield { return s.have }
+
+// Bytes returns the assembled content (for test assertions).
+func (s *MemStorage) Bytes() []byte { return s.data }
+
+// SparseStorage tracks only which blocks have arrived; piece
+// verification checks the synthetic piece tag carried in block metadata
+// against the metainfo. It uses O(pieces) memory regardless of file
+// size, enabling the 5754-client experiment.
+type SparseStorage struct {
+	meta   *MetaInfo
+	have   *Bitfield
+	blocks []uint64 // bitmap of received blocks per piece (≤64 blocks)
+	tags   [][20]byte
+}
+
+// NewSparseStorage returns empty sparse storage for a leecher.
+func NewSparseStorage(meta *MetaInfo) *SparseStorage {
+	if meta.PieceLength/BlockLength > 64 {
+		panic("bt: SparseStorage supports at most 64 blocks per piece")
+	}
+	return &SparseStorage{
+		meta:   meta,
+		have:   NewBitfield(meta.NumPieces()),
+		blocks: make([]uint64, meta.NumPieces()),
+		tags:   make([][20]byte, meta.NumPieces()),
+	}
+}
+
+// NewSeededSparseStorage returns sparse storage that already has every
+// piece (a seeder of synthetic content).
+func NewSeededSparseStorage(meta *MetaInfo) *SparseStorage {
+	s := NewSparseStorage(meta)
+	for i := 0; i < meta.NumPieces(); i++ {
+		s.have.Set(i)
+		s.tags[i] = meta.PieceHashes[i]
+	}
+	return s
+}
+
+// ReadBlock implements Storage; sparse blocks have no bytes, so it
+// returns nil with true when the piece is available (callers send the
+// piece tag as metadata instead).
+func (s *SparseStorage) ReadBlock(piece, begin, length int) ([]byte, bool) {
+	return nil, s.have.Has(piece)
+}
+
+// Tag returns the verification tag for an owned piece.
+func (s *SparseStorage) Tag(piece int) [20]byte { return s.meta.PieceHashes[piece] }
+
+// WriteBlock implements Storage: it records block receipt; data is
+// ignored, the piece tag arrives via CompleteTag.
+func (s *SparseStorage) WriteBlock(piece, begin int, data []byte, sparseLen int) error {
+	if piece < 0 || piece >= s.meta.NumPieces() {
+		return fmt.Errorf("bt: piece %d out of range", piece)
+	}
+	b := begin / BlockLength
+	if b < 0 || b >= s.meta.BlocksIn(piece) {
+		return fmt.Errorf("bt: block offset %d out of piece %d", begin, piece)
+	}
+	s.blocks[piece] |= 1 << uint(b)
+	s.tags[piece] = s.meta.PieceHashes[piece] // tag implied by protocol metadata
+	return nil
+}
+
+// CompletePiece implements Storage: the piece passes when every block
+// arrived and the recorded tag matches the metainfo.
+func (s *SparseStorage) CompletePiece(piece int) (bool, error) {
+	if piece < 0 || piece >= s.meta.NumPieces() {
+		return false, fmt.Errorf("bt: piece %d out of range", piece)
+	}
+	want := uint64(1)<<uint(s.meta.BlocksIn(piece)) - 1
+	if s.blocks[piece] != want {
+		return false, nil
+	}
+	if s.tags[piece] != s.meta.PieceHashes[piece] {
+		return false, nil
+	}
+	s.have.Set(piece)
+	return true, nil
+}
+
+// HavePiece implements Storage.
+func (s *SparseStorage) HavePiece(piece int) bool { return s.have.Has(piece) }
+
+// Bitfield implements Storage.
+func (s *SparseStorage) Bitfield() *Bitfield { return s.have }

@@ -1,0 +1,263 @@
+package bt
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/ip"
+	"repro/internal/sim"
+	"repro/internal/vnet"
+)
+
+// TrackerPort is the customary BitTorrent tracker port.
+const TrackerPort ip.Port = 6969
+
+// DefaultNumWant is how many peers an announce returns (mainline: 50).
+const DefaultNumWant = 50
+
+// Announce events, as in the tracker HTTP protocol.
+const (
+	EventStarted   = "started"
+	EventCompleted = "completed"
+	EventStopped   = "stopped"
+	EventEmpty     = ""
+)
+
+// TrackerStats counts tracker activity.
+type TrackerStats struct {
+	Announces int
+	Started   int
+	Completed int
+	Stopped   int
+}
+
+// Tracker is the rendezvous service: it registers announcing peers per
+// info-hash and returns random peer subsets. It speaks bencoded
+// messages over vnet connections (the real tracker speaks HTTP GET; the
+// payload and the information flow are the same — documented
+// substitution).
+type Tracker struct {
+	host   *vnet.Host
+	swarms map[[20]byte]*swarmPeers
+	stats  TrackerStats
+}
+
+type swarmPeers struct {
+	order []trackerPeer
+	index map[ip.Endpoint]int
+}
+
+type trackerPeer struct {
+	ep       ip.Endpoint
+	complete bool
+}
+
+// NewTracker creates a tracker on the given host and starts its accept
+// loop on TrackerPort.
+func NewTracker(host *vnet.Host) *Tracker {
+	t := &Tracker{host: host, swarms: make(map[[20]byte]*swarmPeers)}
+	host.Network().Kernel().Go("tracker", t.serve)
+	return t
+}
+
+// Stats returns a snapshot of announce counters.
+func (t *Tracker) Stats() TrackerStats { return t.stats }
+
+// PeerCount returns how many peers are registered for a torrent.
+func (t *Tracker) PeerCount(infoHash [20]byte) int {
+	sw := t.swarms[infoHash]
+	if sw == nil {
+		return 0
+	}
+	return len(sw.order)
+}
+
+// CompletedCount returns how many registered peers have completed.
+func (t *Tracker) CompletedCount(infoHash [20]byte) int {
+	sw := t.swarms[infoHash]
+	if sw == nil {
+		return 0
+	}
+	n := 0
+	for _, p := range sw.order {
+		if p.complete {
+			n++
+		}
+	}
+	return n
+}
+
+func (t *Tracker) serve(p *sim.Proc) {
+	l, err := t.host.Listen(p, TrackerPort)
+	if err != nil {
+		return
+	}
+	for {
+		conn, err := l.Accept(p)
+		if err != nil {
+			return
+		}
+		c := conn
+		p.Go("tracker-conn", func(p *sim.Proc) { t.handle(p, c) })
+	}
+}
+
+func (t *Tracker) handle(p *sim.Proc, c *vnet.Conn) {
+	defer c.Close(p)
+	pk, ok, err := c.RecvTimeout(p, 30*time.Second)
+	if err != nil || !ok {
+		return
+	}
+	resp, err := t.announce(pk.Data, pk.From.Addr)
+	if err != nil {
+		enc, _ := Bencode(map[string]any{"failure reason": err.Error()})
+		c.Send(p, enc)
+		return
+	}
+	c.Send(p, resp)
+}
+
+// announce processes one bencoded announce and returns the bencoded
+// response.
+func (t *Tracker) announce(req []byte, from ip.Addr) ([]byte, error) {
+	v, err := Bdecode(req)
+	if err != nil {
+		return nil, err
+	}
+	dict, ok := v.(map[string]any)
+	if !ok {
+		return nil, errors.New("announce is not a dict")
+	}
+	ihRaw, _ := dict["info_hash"].([]byte)
+	if len(ihRaw) != 20 {
+		return nil, errors.New("bad info_hash")
+	}
+	var ih [20]byte
+	copy(ih[:], ihRaw)
+	portN, _ := dict["port"].(int64)
+	event := ""
+	if e, ok := dict["event"].([]byte); ok {
+		event = string(e)
+	}
+	left, _ := dict["left"].(int64)
+	numWant := int64(DefaultNumWant)
+	if nw, ok := dict["numwant"].(int64); ok && nw > 0 {
+		numWant = nw
+	}
+	self := ip.Endpoint{Addr: from, Port: ip.Port(portN)}
+
+	sw := t.swarms[ih]
+	if sw == nil {
+		sw = &swarmPeers{index: make(map[ip.Endpoint]int)}
+		t.swarms[ih] = sw
+	}
+	t.stats.Announces++
+	switch event {
+	case EventStarted, EventEmpty, EventCompleted:
+		if event == EventStarted {
+			t.stats.Started++
+		}
+		if event == EventCompleted {
+			t.stats.Completed++
+		}
+		if i, known := sw.index[self]; known {
+			sw.order[i].complete = left == 0 || event == EventCompleted
+		} else {
+			sw.index[self] = len(sw.order)
+			sw.order = append(sw.order, trackerPeer{ep: self, complete: left == 0})
+		}
+	case EventStopped:
+		t.stats.Stopped++
+		if i, known := sw.index[self]; known {
+			last := len(sw.order) - 1
+			sw.index[sw.order[last].ep] = i
+			sw.order[i] = sw.order[last]
+			sw.order = sw.order[:last]
+			delete(sw.index, self)
+		}
+	default:
+		return nil, fmt.Errorf("unknown event %q", event)
+	}
+
+	// Random subset of other peers, like the real tracker.
+	rng := t.host.Network().Kernel().Rand()
+	var peers []any
+	perm := rng.Perm(len(sw.order))
+	for _, i := range perm {
+		if len(peers) >= int(numWant) {
+			break
+		}
+		tp := sw.order[i]
+		if tp.ep == self {
+			continue
+		}
+		peers = append(peers, map[string]any{
+			"ip":   tp.ep.Addr.String(),
+			"port": int64(tp.ep.Port),
+		})
+	}
+	return Bencode(map[string]any{
+		"interval": int64(1800),
+		"peers":    peers,
+	})
+}
+
+// AnnounceRequest is the client-side helper: it dials the tracker,
+// sends an announce and parses the peer list.
+func AnnounceRequest(p *sim.Proc, h *vnet.Host, tracker ip.Endpoint, infoHash [20]byte,
+	port ip.Port, event string, left int64, numWant int) ([]ip.Endpoint, error) {
+	c, err := h.Dial(p, tracker)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close(p)
+	req, err := Bencode(map[string]any{
+		"info_hash": infoHash[:],
+		"peer_id":   fmt.Sprintf("%-20s", "go-p2plab-"+h.Addr().String())[:20],
+		"port":      int64(port),
+		"event":     event,
+		"left":      left,
+		"numwant":   int64(numWant),
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := c.Send(p, req); err != nil {
+		return nil, err
+	}
+	pk, ok, err := c.RecvTimeout(p, 30*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, vnet.ErrTimeout
+	}
+	v, err := Bdecode(pk.Data)
+	if err != nil {
+		return nil, err
+	}
+	dict, okd := v.(map[string]any)
+	if !okd {
+		return nil, errors.New("bt: tracker response is not a dict")
+	}
+	if f, bad := dict["failure reason"].([]byte); bad {
+		return nil, fmt.Errorf("bt: tracker failure: %s", f)
+	}
+	rawPeers, _ := dict["peers"].([]any)
+	var peers []ip.Endpoint
+	for _, rp := range rawPeers {
+		pd, okp := rp.(map[string]any)
+		if !okp {
+			continue
+		}
+		addrB, _ := pd["ip"].([]byte)
+		portN, _ := pd["port"].(int64)
+		a, err := ip.ParseAddr(string(addrB))
+		if err != nil {
+			continue
+		}
+		peers = append(peers, ip.Endpoint{Addr: a, Port: ip.Port(portN)})
+	}
+	return peers, nil
+}

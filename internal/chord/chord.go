@@ -1,0 +1,83 @@
+// Package chord implements the Chord distributed hash table over the
+// emulated network — a second peer-to-peer system to study on the
+// platform, exercising exactly what P2PLab was built to measure: how a
+// structured overlay's lookup latency depends on edge-link latencies
+// and node locality (the group model of internal/topo).
+//
+// The implementation follows Stoica et al. (SIGCOMM 2001): an m-bit
+// identifier circle, successor pointers, finger tables, iterative
+// lookups, and the periodic stabilize/fix-fingers/check-predecessor
+// maintenance protocol. Nodes communicate with request/response
+// messages over vnet connections.
+package chord
+
+import (
+	"crypto/sha1"
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/ip"
+)
+
+// M is the identifier width in bits. 32 bits is plenty for emulated
+// overlays of thousands of nodes while keeping IDs readable.
+const M = 32
+
+// ID is a point on the identifier circle.
+type ID uint32
+
+// HashAddr maps a node address to its identifier (SHA-1, like Chord).
+func HashAddr(a ip.Addr) ID {
+	sum := sha1.Sum([]byte(a.String()))
+	return ID(binary.BigEndian.Uint32(sum[:4]))
+}
+
+// HashKey maps an application key to its identifier.
+func HashKey(key string) ID {
+	sum := sha1.Sum([]byte(key))
+	return ID(binary.BigEndian.Uint32(sum[:4]))
+}
+
+// Between reports whether x lies on the circle segment (a, b]
+// (wrapping). By convention Between(x, a, a] is true for x != a... no:
+// when a == b the interval covers the whole circle.
+func Between(x, a, b ID) bool {
+	if a == b {
+		return true
+	}
+	if a < b {
+		return x > a && x <= b
+	}
+	return x > a || x <= b
+}
+
+// BetweenOpen reports whether x lies in the open segment (a, b).
+func BetweenOpen(x, a, b ID) bool {
+	if a == b {
+		return x != a
+	}
+	if a < b {
+		return x > a && x < b
+	}
+	return x > a || x < b
+}
+
+// fingerStart returns the start of the i-th finger interval of n:
+// n + 2^i mod 2^M.
+func fingerStart(n ID, i int) ID {
+	return n + ID(uint32(1)<<uint(i))
+}
+
+// NodeRef is a remote node's identity: its ring ID and its endpoint.
+type NodeRef struct {
+	ID   ID
+	Addr ip.Endpoint
+}
+
+// IsZero reports whether the reference is unset.
+func (r NodeRef) IsZero() bool { return r.Addr.Addr.IsZero() }
+
+// String formats the reference for traces.
+func (r NodeRef) String() string {
+	return fmt.Sprintf("%08x@%v", uint32(r.ID), r.Addr)
+}

@@ -1,0 +1,189 @@
+package exp
+
+import (
+	"time"
+
+	"repro/internal/bt"
+	"repro/internal/churn"
+	"repro/internal/ip"
+	"repro/internal/sim"
+	"repro/internal/topo"
+	"repro/internal/vnet"
+)
+
+// ChurnSwarmParams configures extension experiment E3: a BitTorrent
+// swarm in which a fraction of the clients churn (depart abruptly and
+// return later, resuming from kept storage) — the workload class the
+// platform exists to study and the paper lists as future territory.
+type ChurnSwarmParams struct {
+	Clients       int
+	Seeders       int
+	FileSize      int64
+	Class         topo.LinkClass
+	StartInterval time.Duration
+	// ChurnFraction of the clients live under the churn process.
+	ChurnFraction float64
+	// Session and Downtime describe the churners' lifecycle.
+	Session  churn.Lifetime
+	Downtime churn.Lifetime
+	Seed     int64
+	Horizon  time.Duration
+}
+
+// DefaultChurnSwarmParams returns a moderate-churn configuration.
+func DefaultChurnSwarmParams() ChurnSwarmParams {
+	return ChurnSwarmParams{
+		Clients:       24,
+		Seeders:       2,
+		FileSize:      4 * 1024 * 1024,
+		Class:         topo.DSL,
+		StartInterval: 2 * time.Second,
+		ChurnFraction: 0.5,
+		Session:       churn.Pareto{Scale: 120 * time.Second, Alpha: 1.8},
+		Downtime:      churn.Exponential{MeanDuration: 60 * time.Second},
+		Seed:          1,
+		Horizon:       6 * time.Hour,
+	}
+}
+
+// ChurnSwarmOutcome reports E3's measurements.
+type ChurnSwarmOutcome struct {
+	StableDone     int // stable clients that completed
+	StableTotal    int
+	ChurnDone      int // churning clients that completed despite churn
+	ChurnTotal     int
+	Arrivals       int // churn sessions started (incl. first)
+	Departures     int
+	StableLastDone sim.Time
+	EndedAt        sim.Time
+}
+
+// churningClient adapts a (host, storage) pair to churn.Peer: each
+// Online starts a fresh bt.Client resuming from the shared storage.
+type churningClient struct {
+	host    *vnet.Host
+	meta    *bt.MetaInfo
+	store   bt.Storage
+	tracker ip.Endpoint
+	cfg     bt.ClientConfig
+	cur     *bt.Client
+	done    bool
+}
+
+// Online implements churn.Peer.
+func (cc *churningClient) Online(p *sim.Proc) {
+	if cc.cur != nil && !cc.cur.Stopped() {
+		return // still running (session overlap guard)
+	}
+	c := bt.NewClient(cc.host, cc.meta, cc.store, cc.tracker, cc.cfg)
+	c.OnComplete = func(*bt.Client, sim.Time) { cc.done = true }
+	if cc.store.Bitfield().Complete() {
+		cc.done = true // resumed into completeness
+	}
+	cc.cur = c
+	c.Start()
+}
+
+// Offline implements churn.Peer.
+func (cc *churningClient) Offline(p *sim.Proc) {
+	if cc.cur != nil {
+		cc.cur.Stop()
+	}
+}
+
+// RunChurnSwarm executes E3 and reports completion under churn.
+func RunChurnSwarm(cp ChurnSwarmParams) (*ChurnSwarmOutcome, error) {
+	k := sim.New(cp.Seed)
+	net := vnet.NewNetwork(k, nil, vnet.DefaultConfig())
+	trackerHost, err := net.AddHostClass(ip.MustParseAddr("10.250.0.1"), topo.LAN)
+	if err != nil {
+		return nil, err
+	}
+	nChurn := int(float64(cp.Clients) * cp.ChurnFraction)
+	nStable := cp.Clients - nChurn
+
+	var seedHosts, stableHosts, churnHosts []*vnet.Host
+	base := ip.MustParseAddr("10.0.0.1")
+	for i := 0; i < cp.Seeders+cp.Clients; i++ {
+		h, err := net.AddHostClass(base.Add(uint32(i)), cp.Class)
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case i < cp.Seeders:
+			seedHosts = append(seedHosts, h)
+		case i < cp.Seeders+nStable:
+			stableHosts = append(stableHosts, h)
+		default:
+			churnHosts = append(churnHosts, h)
+		}
+	}
+	spec := bt.DefaultSwarmSpec()
+	spec.FileSize = cp.FileSize
+	swarm, err := bt.BuildSwarm(spec, trackerHost, seedHosts, stableHosts)
+	if err != nil {
+		return nil, err
+	}
+	trackerEP := ip.Endpoint{Addr: trackerHost.Addr(), Port: bt.TrackerPort}
+
+	churners := make([]*churningClient, len(churnHosts))
+	peers := make([]churn.Peer, len(churnHosts))
+	for i, h := range churnHosts {
+		churners[i] = &churningClient{
+			host: h, meta: swarm.Meta, store: bt.NewSparseStorage(swarm.Meta),
+			tracker: trackerEP, cfg: spec.Client,
+		}
+		peers[i] = churners[i]
+	}
+	driver := churn.NewDriver(k, churn.Config{
+		Session:      cp.Session,
+		Downtime:     cp.Downtime,
+		InitialDelay: time.Duration(len(churnHosts)) * cp.StartInterval,
+		Horizon:      cp.Horizon,
+	})
+
+	swarm.Start(cp.StartInterval)
+	driver.Drive(peers)
+
+	out := &ChurnSwarmOutcome{StableTotal: nStable, ChurnTotal: nChurn}
+	k.Go("waiter", func(p *sim.Proc) {
+		swarm.WaitAll(p, cp.Horizon/2)
+		// Give churners the second half of the horizon to catch up.
+		deadline := p.Now().Add(cp.Horizon / 2)
+		for p.Now() < deadline {
+			all := true
+			for _, cc := range churners {
+				if !cc.done {
+					all = false
+					break
+				}
+			}
+			if all {
+				break
+			}
+			p.Sleep(30 * time.Second)
+		}
+		k.Stop()
+	})
+	if err := k.Run(); err != nil {
+		return nil, err
+	}
+	for _, c := range swarm.Clients {
+		if c.Done() {
+			out.StableDone++
+			if c.FinishedAt() > out.StableLastDone {
+				out.StableLastDone = c.FinishedAt()
+			}
+		}
+	}
+	for _, cc := range churners {
+		if cc.done || cc.store.Bitfield().Complete() {
+			out.ChurnDone++
+		}
+	}
+	st := driver.Stats()
+	out.Arrivals = st.Arrivals
+	out.Departures = st.Departures
+	out.EndedAt = k.Now()
+	return out, nil
+}

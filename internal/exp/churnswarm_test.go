@@ -1,0 +1,63 @@
+package exp
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/churn"
+)
+
+func TestChurnSwarmStableClientsComplete(t *testing.T) {
+	cp := DefaultChurnSwarmParams()
+	cp.Clients = 12
+	cp.FileSize = 1 << 20
+	out, err := RunChurnSwarm(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.StableDone != out.StableTotal {
+		t.Errorf("stable clients: %d/%d done — churn must not break the stable swarm",
+			out.StableDone, out.StableTotal)
+	}
+	if out.Arrivals == 0 || out.Departures == 0 {
+		t.Errorf("no churn happened: %+v", out)
+	}
+}
+
+func TestChurnSwarmChurnersEventuallyFinish(t *testing.T) {
+	// With sessions much longer than the download and short downtimes,
+	// even churning clients complete (resume makes progress durable).
+	cp := DefaultChurnSwarmParams()
+	cp.Clients = 8
+	cp.FileSize = 1 << 20
+	cp.Session = churn.Fixed{D: 10 * time.Minute}
+	cp.Downtime = churn.Fixed{D: 30 * time.Second}
+	out, err := RunChurnSwarm(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.ChurnDone < out.ChurnTotal {
+		t.Errorf("churners done = %d/%d with generous sessions", out.ChurnDone, out.ChurnTotal)
+	}
+}
+
+func TestChurnSwarmHarshChurnStillProgresses(t *testing.T) {
+	// Short sessions: churners may not finish, but their storage must
+	// show progress (durable resume) and the run must stay stable.
+	cp := DefaultChurnSwarmParams()
+	cp.Clients = 10
+	cp.FileSize = 2 << 20
+	cp.Session = churn.Fixed{D: 45 * time.Second}
+	cp.Downtime = churn.Fixed{D: 45 * time.Second}
+	cp.Horizon = time.Hour
+	out, err := RunChurnSwarm(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.StableDone == 0 {
+		t.Error("no stable client finished under harsh churn")
+	}
+	if out.Departures < out.ChurnTotal {
+		t.Errorf("departures = %d, want at least one per churner", out.Departures)
+	}
+}

@@ -1,0 +1,139 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/chord"
+	"repro/internal/ip"
+	"repro/internal/metrics"
+	"repro/internal/netem"
+	"repro/internal/sim"
+	"repro/internal/topo"
+	"repro/internal/vnet"
+)
+
+// The DHT experiments are extensions beyond the paper's evaluation:
+// they use the platform for what it was built for — studying another
+// peer-to-peer system (Chord) under controlled edge-network conditions.
+// E1 verifies O(log N) routing; E2 shows how lookup latency depends on
+// the access-link class, something only the edge-centric emulation
+// model can vary cleanly.
+
+// DHTPoint is one measurement of the DHT experiments.
+type DHTPoint struct {
+	Nodes      int
+	AvgHops    float64
+	AvgLatency time.Duration
+	P90Latency time.Duration
+	Timeouts   uint64
+}
+
+// dhtRing builds an n-node ring on the given link class, warms it up,
+// performs lookups and reports the aggregate.
+func dhtRing(n, lookups int, class topo.LinkClass, seed int64) (DHTPoint, error) {
+	k := sim.New(seed)
+	net := vnet.NewNetwork(k, nil, vnet.DefaultConfig())
+	var nodes []*chord.Node
+	base := ip.MustParseAddr("10.0.0.1")
+	for i := 0; i < n; i++ {
+		h, err := net.AddHostClass(base.Add(uint32(i)), class)
+		if err != nil {
+			return DHTPoint{}, err
+		}
+		nodes = append(nodes, chord.NewNode(h, chord.DefaultConfig()))
+	}
+	nodes[0].Create()
+	for i := 1; i < n; i++ {
+		i := i
+		k.After(time.Duration(i)*500*time.Millisecond, func() { nodes[i].Join(nodes[0].Ref().Addr) })
+	}
+	warm := time.Duration(n)*500*time.Millisecond + 60*time.Second
+
+	pt := DHTPoint{Nodes: n}
+	var latencies []float64
+	k.Go("measure", func(p *sim.Proc) {
+		p.Sleep(warm)
+		totalHops := 0
+		var totalLat time.Duration
+		done := 0
+		for i := 0; i < lookups; i++ {
+			res, err := nodes[i%n].Lookup(p, fmt.Sprintf("key-%d", i))
+			if err != nil {
+				continue
+			}
+			done++
+			totalHops += res.Hops
+			totalLat += res.Latency
+			latencies = append(latencies, res.Latency.Seconds()*1000)
+		}
+		if done > 0 {
+			pt.AvgHops = float64(totalHops) / float64(done)
+			pt.AvgLatency = totalLat / time.Duration(done)
+		}
+		for _, nd := range nodes {
+			pt.Timeouts += nd.Stats.Timeouts
+		}
+		k.Stop()
+	})
+	if err := k.Run(); err != nil {
+		return pt, err
+	}
+	if len(latencies) > 0 {
+		pt.P90Latency = time.Duration(metrics.Summarize(latencies).P90 * float64(time.Millisecond))
+	}
+	return pt, nil
+}
+
+// DHTScaling measures average lookup hops against ring size (extension
+// experiment E1): Chord's O(log N) routing measured on the emulated
+// network.
+func DHTScaling(sizes []int, lookups int, seed int64) ([]DHTPoint, error) {
+	if sizes == nil {
+		sizes = []int{8, 16, 32, 64, 128}
+	}
+	if lookups <= 0 {
+		lookups = 200
+	}
+	lan := topo.LinkClass{Name: "lan", Down: netem.Gbps, Up: netem.Gbps, Latency: time.Millisecond}
+	var out []DHTPoint
+	for _, n := range sizes {
+		pt, err := dhtRing(n, lookups, lan, seed)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// DHTScalingSeries converts scaling points into a hops-vs-N series.
+func DHTScalingSeries(points []DHTPoint) *metrics.Series {
+	s := &metrics.Series{Name: "avg-lookup-hops"}
+	for _, pt := range points {
+		s.Add(float64(pt.Nodes), pt.AvgHops)
+	}
+	return s
+}
+
+// DHTLocality measures lookup latency for the same 32-node ring on
+// different access links (extension experiment E2): the edge link, not
+// the overlay, dominates DHT latency — the paper's core modelling
+// argument applied to a structured overlay.
+func DHTLocality(seed int64) (map[string]DHTPoint, error) {
+	classes := []topo.LinkClass{
+		{Name: "lan", Down: netem.Gbps, Up: netem.Gbps, Latency: time.Millisecond},
+		topo.Campus,
+		topo.DSL,
+		topo.Modem,
+	}
+	out := make(map[string]DHTPoint, len(classes))
+	for _, class := range classes {
+		pt, err := dhtRing(32, 200, class, seed)
+		if err != nil {
+			return nil, err
+		}
+		out[class.Name] = pt
+	}
+	return out, nil
+}

@@ -1,0 +1,56 @@
+package exp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDHTScalingLogarithmic(t *testing.T) {
+	points, err := DHTScaling([]int{8, 32}, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	for _, pt := range points {
+		// Chord expectation: ≈ ½·log2(N) hops, generously bounded.
+		bound := math.Log2(float64(pt.Nodes)) + 1
+		if pt.AvgHops > bound {
+			t.Errorf("N=%d: avg hops %.2f exceeds log2(N)+1 = %.1f", pt.Nodes, pt.AvgHops, bound)
+		}
+		if pt.AvgLatency <= 0 {
+			t.Errorf("N=%d: no latency recorded", pt.Nodes)
+		}
+	}
+	// Hops must grow with ring size.
+	if points[1].AvgHops <= points[0].AvgHops {
+		t.Errorf("hops did not grow: N=8 → %.2f, N=32 → %.2f",
+			points[0].AvgHops, points[1].AvgHops)
+	}
+}
+
+func TestDHTScalingSeries(t *testing.T) {
+	points := []DHTPoint{{Nodes: 8, AvgHops: 1.5}, {Nodes: 16, AvgHops: 2.0}}
+	s := DHTScalingSeries(points)
+	if s.Len() != 2 || s.Points[1].Y != 2.0 {
+		t.Fatalf("series = %+v", s)
+	}
+}
+
+func TestDHTLocalityOrdering(t *testing.T) {
+	points, err := DHTLocality(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lan, dsl, modem := points["lan"], points["dsl"], points["modem"]
+	// Identical overlay; latency must be ordered by access link.
+	if !(lan.AvgLatency < dsl.AvgLatency && dsl.AvgLatency < modem.AvgLatency) {
+		t.Fatalf("latency ordering broken: lan=%v dsl=%v modem=%v",
+			lan.AvgLatency, dsl.AvgLatency, modem.AvgLatency)
+	}
+	// And hop counts must be (statistically) similar: same overlay.
+	if math.Abs(lan.AvgHops-modem.AvgHops) > 1.5 {
+		t.Fatalf("hops diverged across links: lan=%.2f modem=%.2f", lan.AvgHops, modem.AvgHops)
+	}
+}

@@ -1,0 +1,126 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/gossip"
+	"repro/internal/ip"
+	"repro/internal/metrics"
+	"repro/internal/netem"
+	"repro/internal/sim"
+	"repro/internal/topo"
+	"repro/internal/vnet"
+)
+
+// GossipPoint is one measurement of extension experiment E6: epidemic
+// dissemination time over the emulated network.
+type GossipPoint struct {
+	Nodes    int
+	Fanout   int
+	Coverage float64       // fraction of nodes reached
+	T50      time.Duration // time to 50% coverage
+	T100     time.Duration // time to full observed coverage
+	Pushes   uint64
+}
+
+// GossipSpread runs one dissemination experiment: n nodes on the given
+// class, one update published at t=1s, measured until full coverage or
+// the horizon.
+func GossipSpread(n, fanout int, class topo.LinkClass, seed int64) (GossipPoint, error) {
+	k := sim.New(seed)
+	net := vnet.NewNetwork(k, nil, vnet.DefaultConfig())
+	cfg := gossip.DefaultConfig()
+	cfg.Fanout = fanout
+	var nodes []*gossip.Node
+	var eps []ip.Endpoint
+	base := ip.MustParseAddr("10.0.0.1")
+	for i := 0; i < n; i++ {
+		h, err := net.AddHostClass(base.Add(uint32(i)), class)
+		if err != nil {
+			return GossipPoint{}, err
+		}
+		nodes = append(nodes, gossip.NewNode(h, cfg))
+		eps = append(eps, ip.Endpoint{Addr: h.Addr(), Port: gossip.Port})
+	}
+	for _, nd := range nodes {
+		nd.SetPeers(eps)
+		nd.Start()
+	}
+
+	pt := GossipPoint{Nodes: n, Fanout: fanout}
+	const updateID = 1
+	k.Go("driver", func(p *sim.Proc) {
+		p.Sleep(time.Second)
+		start := p.Now()
+		nodes[0].Publish(p, gossip.Update{ID: updateID})
+		deadline := start.Add(5 * time.Minute)
+		half := false
+		for p.Now() < deadline {
+			p.Sleep(250 * time.Millisecond)
+			covered := 0
+			for _, nd := range nodes {
+				if nd.Knows(updateID) {
+					covered++
+				}
+			}
+			if !half && covered*2 >= n {
+				pt.T50 = time.Duration(p.Now().Sub(start))
+				half = true
+			}
+			if covered == n {
+				pt.T100 = time.Duration(p.Now().Sub(start))
+				break
+			}
+		}
+		covered := 0
+		for _, nd := range nodes {
+			if nd.Knows(updateID) {
+				covered++
+			}
+			pt.Pushes += nd.Stats.Pushes
+		}
+		pt.Coverage = float64(covered) / float64(n)
+		k.Stop()
+	})
+	if err := k.Run(); err != nil {
+		return pt, err
+	}
+	return pt, nil
+}
+
+// GossipFanoutSweep measures dissemination time against fanout for a
+// fixed population (E6): higher fanout trades messages for speed.
+func GossipFanoutSweep(n int, fanouts []int, seed int64) ([]GossipPoint, error) {
+	if fanouts == nil {
+		fanouts = []int{1, 2, 3, 5, 8}
+	}
+	lan := topo.LinkClass{Name: "lan", Down: netem.Gbps, Up: netem.Gbps, Latency: time.Millisecond}
+	var out []GossipPoint
+	for _, f := range fanouts {
+		pt, err := GossipSpread(n, f, lan, seed)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// GossipSweepSeries converts sweep points into T100-vs-fanout and
+// pushes-vs-fanout series.
+func GossipSweepSeries(points []GossipPoint) []*metrics.Series {
+	t100 := &metrics.Series{Name: "time-to-full-coverage-s"}
+	cost := &metrics.Series{Name: "push-messages"}
+	for _, pt := range points {
+		t100.Add(float64(pt.Fanout), pt.T100.Seconds())
+		cost.Add(float64(pt.Fanout), float64(pt.Pushes))
+	}
+	return []*metrics.Series{t100, cost}
+}
+
+// gossipString formats a point for command output.
+func (pt GossipPoint) String() string {
+	return fmt.Sprintf("n=%d fanout=%d coverage=%.0f%% t50=%v t100=%v pushes=%d",
+		pt.Nodes, pt.Fanout, 100*pt.Coverage, pt.T50, pt.T100, pt.Pushes)
+}

@@ -1,0 +1,59 @@
+package exp
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/topo"
+)
+
+func TestGossipSpreadFullCoverage(t *testing.T) {
+	pt, err := GossipSpread(32, 3, topo.LAN, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Coverage != 1 {
+		t.Fatalf("coverage = %.2f, want full", pt.Coverage)
+	}
+	if pt.T50 <= 0 || pt.T100 < pt.T50 {
+		t.Fatalf("times inconsistent: t50=%v t100=%v", pt.T50, pt.T100)
+	}
+}
+
+func TestGossipFanoutTradeoff(t *testing.T) {
+	points, err := GossipFanoutSweep(32, []int{1, 5}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lowF, highF := points[0], points[1]
+	if highF.T100 > lowF.T100 {
+		t.Errorf("fanout 5 (%v) should not be slower than fanout 1 (%v)",
+			highF.T100, lowF.T100)
+	}
+	if highF.Pushes <= lowF.Pushes {
+		t.Errorf("fanout 5 (%d pushes) must cost more messages than fanout 1 (%d)",
+			highF.Pushes, lowF.Pushes)
+	}
+	series := GossipSweepSeries(points)
+	if len(series) != 2 || series[0].Len() != 2 {
+		t.Fatalf("series malformed")
+	}
+}
+
+func TestGossipSlowLinksSlowCoverage(t *testing.T) {
+	lan, err := GossipSpread(16, 3, topo.LAN, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dsl, err := GossipSpread(16, 3, topo.DSL, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dsl.Coverage != 1 || lan.Coverage != 1 {
+		t.Fatal("both runs should reach full coverage")
+	}
+	if dsl.T100 < lan.T100 {
+		t.Errorf("DSL (%v) should not beat LAN (%v)", dsl.T100, lan.T100)
+	}
+	_ = time.Second
+}

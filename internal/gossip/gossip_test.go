@@ -1,0 +1,240 @@
+package gossip
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/ip"
+	"repro/internal/netem"
+	"repro/internal/sim"
+	"repro/internal/topo"
+	"repro/internal/vnet"
+)
+
+var lan = topo.LinkClass{Name: "lan", Down: netem.Gbps, Up: netem.Gbps, Latency: time.Millisecond}
+
+// population builds n gossip nodes with full membership views.
+func population(t *testing.T, seed int64, n int, class topo.LinkClass, cfg Config) (*sim.Kernel, []*Node) {
+	t.Helper()
+	k := sim.New(seed)
+	net := vnet.NewNetwork(k, nil, vnet.DefaultConfig())
+	var nodes []*Node
+	var eps []ip.Endpoint
+	base := ip.MustParseAddr("10.0.0.1")
+	for i := 0; i < n; i++ {
+		h, err := net.AddHostClass(base.Add(uint32(i)), class)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, NewNode(h, cfg))
+		eps = append(eps, ip.Endpoint{Addr: h.Addr(), Port: Port})
+	}
+	for _, nd := range nodes {
+		nd.SetPeers(eps)
+		nd.Start()
+	}
+	return k, nodes
+}
+
+// coverage returns how many nodes know update id.
+func coverage(nodes []*Node, id uint64) int {
+	c := 0
+	for _, nd := range nodes {
+		if nd.Knows(id) {
+			c++
+		}
+	}
+	return c
+}
+
+func TestRumorReachesEveryone(t *testing.T) {
+	k, nodes := population(t, 1, 32, lan, DefaultConfig())
+	k.Go("publisher", func(p *sim.Proc) {
+		p.Sleep(time.Second)
+		nodes[0].Publish(p, Update{ID: 1, Origin: nodes[0].h.Addr(), Payload: "hello"})
+		p.Sleep(30 * time.Second)
+		if got := coverage(nodes, 1); got != 32 {
+			t.Errorf("coverage = %d/32 after 30s", got)
+		}
+		k.Stop()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDisseminationIsLogarithmicRounds(t *testing.T) {
+	// With fanout 3, coverage should be (nearly) complete within
+	// ~log_3(N) + a few rounds — far sooner than N rounds.
+	k, nodes := population(t, 1, 64, lan, DefaultConfig())
+	var at90 sim.Time
+	k.Go("driver", func(p *sim.Proc) {
+		start := p.Now()
+		nodes[0].Publish(p, Update{ID: 7})
+		for coverage(nodes, 7) < 58 { // 90% of 64
+			p.Sleep(500 * time.Millisecond)
+			if p.Now().Sub(start) > 5*time.Minute {
+				t.Error("dissemination stalled")
+				break
+			}
+		}
+		at90 = p.Now()
+		k.Stop()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// log_3(64) ≈ 3.8 rounds of 1s; allow 12 rounds for stragglers.
+	if at90 > sim.Time(12*time.Second) {
+		t.Fatalf("90%% coverage took %v, want ≲12 rounds", at90)
+	}
+}
+
+func TestAntiEntropyRepairsMissedRumor(t *testing.T) {
+	// A rumor whose hot phase dies early (fanout 1, 1 round, 5 nodes)
+	// still reaches everyone through anti-entropy digests.
+	cfg := Config{Fanout: 1, HotRounds: 1, Round: time.Second, AntiEntropy: 5 * time.Second}
+	k, nodes := population(t, 1, 5, lan, cfg)
+	k.Go("driver", func(p *sim.Proc) {
+		nodes[0].Publish(p, Update{ID: 42})
+		p.Sleep(4 * time.Minute)
+		if got := coverage(nodes, 42); got != 5 {
+			t.Errorf("anti-entropy left coverage at %d/5", got)
+		}
+		k.Stop()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNoAntiEntropyMayStrand(t *testing.T) {
+	// The same starved configuration without anti-entropy strands the
+	// rumor — showing the repair mechanism is what completes coverage.
+	cfg := Config{Fanout: 1, HotRounds: 1, Round: time.Second, AntiEntropy: 0}
+	k, nodes := population(t, 1, 5, lan, cfg)
+	var covered int
+	k.Go("driver", func(p *sim.Proc) {
+		nodes[0].Publish(p, Update{ID: 42})
+		p.Sleep(4 * time.Minute)
+		covered = coverage(nodes, 42)
+		k.Stop()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if covered == 5 {
+		t.Skip("lucky seed covered everyone without anti-entropy")
+	}
+	if covered < 1 {
+		t.Fatal("publisher lost its own rumor")
+	}
+}
+
+func TestMultipleUpdatesAllDisseminate(t *testing.T) {
+	k, nodes := population(t, 1, 16, lan, DefaultConfig())
+	k.Go("driver", func(p *sim.Proc) {
+		for i := 0; i < 10; i++ {
+			nodes[i%16].Publish(p, Update{ID: uint64(100 + i)})
+			p.Sleep(500 * time.Millisecond)
+		}
+		p.Sleep(time.Minute)
+		for i := 0; i < 10; i++ {
+			if got := coverage(nodes, uint64(100+i)); got != 16 {
+				t.Errorf("update %d coverage = %d/16", 100+i, got)
+			}
+		}
+		k.Stop()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDuplicatesCounted(t *testing.T) {
+	k, nodes := population(t, 1, 8, lan, DefaultConfig())
+	k.Go("driver", func(p *sim.Proc) {
+		nodes[0].Publish(p, Update{ID: 1})
+		p.Sleep(30 * time.Second)
+		var dups uint64
+		for _, nd := range nodes {
+			dups += nd.Stats.Duplicates
+		}
+		if dups == 0 {
+			t.Error("push gossip with fanout 3 must produce duplicates")
+		}
+		k.Stop()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLatencyScalesWithLinkClass(t *testing.T) {
+	// Same population and fanout on DSL: time to full coverage grows
+	// with link latency but stays round-dominated.
+	run := func(class topo.LinkClass) sim.Time {
+		k, nodes := population(t, 1, 16, class, DefaultConfig())
+		var done sim.Time
+		k.Go("driver", func(p *sim.Proc) {
+			start := p.Now()
+			nodes[0].Publish(p, Update{ID: 5})
+			for coverage(nodes, 5) < 16 && p.Now().Sub(start) < 5*time.Minute {
+				p.Sleep(250 * time.Millisecond)
+			}
+			done = p.Now()
+			k.Stop()
+		})
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return done
+	}
+	fast := run(lan)
+	slow := run(topo.DSL)
+	if slow < fast {
+		t.Fatalf("DSL coverage (%v) should not beat LAN (%v)", slow, fast)
+	}
+}
+
+func TestFirstSeenRecorded(t *testing.T) {
+	k, nodes := population(t, 1, 8, lan, DefaultConfig())
+	k.Go("driver", func(p *sim.Proc) {
+		p.Sleep(time.Second)
+		nodes[0].Publish(p, Update{ID: 9})
+		p.Sleep(30 * time.Second)
+		for i, nd := range nodes {
+			if _, ok := nd.FirstSeen[9]; !ok && nd.Knows(9) {
+				t.Errorf("node %d knows update but has no FirstSeen", i)
+			}
+		}
+		// The origin saw it first.
+		for i, nd := range nodes[1:] {
+			if nd.Knows(9) && nd.FirstSeen[9] < nodes[0].FirstSeen[9] {
+				t.Errorf("node %d saw the update before its origin", i+1)
+			}
+		}
+		k.Stop()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoppedNodeStopsGossiping(t *testing.T) {
+	k, nodes := population(t, 1, 8, lan, DefaultConfig())
+	k.Go("driver", func(p *sim.Proc) {
+		nodes[3].Stop()
+		p.Sleep(2 * time.Second) // let its loops drain
+		before := nodes[3].Stats.Pushes
+		nodes[0].Publish(p, Update{ID: 11})
+		p.Sleep(30 * time.Second)
+		if nodes[3].Stats.Pushes != before {
+			t.Error("stopped node kept pushing")
+		}
+		k.Stop()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

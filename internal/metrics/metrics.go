@@ -1,0 +1,239 @@
+// Package metrics collects and renders experiment results: time series,
+// cumulative distribution functions and summary statistics, with
+// gnuplot-compatible output so every figure of the paper can be
+// regenerated as a .dat file.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Point is one (x, y) sample.
+type Point struct {
+	X, Y float64
+}
+
+// Series is a named sequence of points, one curve of a figure.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Add appends a sample.
+func (s *Series) Add(x, y float64) { s.Points = append(s.Points, Point{x, y}) }
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.Points) }
+
+// SortByX orders the samples by x coordinate (stable).
+func (s *Series) SortByX() {
+	sort.SliceStable(s.Points, func(i, j int) bool { return s.Points[i].X < s.Points[j].X })
+}
+
+// MinY and MaxY return the sample extremes; zero for empty series.
+func (s *Series) MinY() float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	m := s.Points[0].Y
+	for _, p := range s.Points {
+		if p.Y < m {
+			m = p.Y
+		}
+	}
+	return m
+}
+
+func (s *Series) MaxY() float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	m := s.Points[0].Y
+	for _, p := range s.Points {
+		if p.Y > m {
+			m = p.Y
+		}
+	}
+	return m
+}
+
+// LastY returns the final sample's y value (0 for empty series).
+func (s *Series) LastY() float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	return s.Points[len(s.Points)-1].Y
+}
+
+// At returns the linearly interpolated y at x, clamping outside the
+// sampled range. The series must be sorted by X.
+func (s *Series) At(x float64) float64 {
+	n := len(s.Points)
+	if n == 0 {
+		return 0
+	}
+	if x <= s.Points[0].X {
+		return s.Points[0].Y
+	}
+	if x >= s.Points[n-1].X {
+		return s.Points[n-1].Y
+	}
+	i := sort.Search(n, func(i int) bool { return s.Points[i].X >= x })
+	a, b := s.Points[i-1], s.Points[i]
+	if b.X == a.X {
+		return b.Y
+	}
+	t := (x - a.X) / (b.X - a.X)
+	return a.Y + t*(b.Y-a.Y)
+}
+
+// CDF builds the empirical cumulative distribution of samples: points
+// (v, F(v)) with F stepping by 1/n, the exact construction of the
+// paper's Fig 3.
+func CDF(samples []float64) Series {
+	vs := append([]float64(nil), samples...)
+	sort.Float64s(vs)
+	s := Series{Name: "cdf"}
+	n := float64(len(vs))
+	for i, v := range vs {
+		s.Add(v, float64(i+1)/n)
+	}
+	return s
+}
+
+// Summary holds order statistics of a sample.
+type Summary struct {
+	N                int
+	Min, Max         float64
+	Mean, Stddev     float64
+	P10, Median, P90 float64
+}
+
+// Summarize computes order statistics.
+func Summarize(samples []float64) Summary {
+	if len(samples) == 0 {
+		return Summary{}
+	}
+	vs := append([]float64(nil), samples...)
+	sort.Float64s(vs)
+	var sum, sq float64
+	for _, v := range vs {
+		sum += v
+		sq += v * v
+	}
+	n := float64(len(vs))
+	mean := sum / n
+	variance := sq/n - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	q := func(p float64) float64 {
+		idx := p * (n - 1)
+		lo := int(idx)
+		hi := lo + 1
+		if hi >= len(vs) {
+			return vs[len(vs)-1]
+		}
+		frac := idx - float64(lo)
+		return vs[lo]*(1-frac) + vs[hi]*frac
+	}
+	return Summary{
+		N: len(vs), Min: vs[0], Max: vs[len(vs)-1],
+		Mean: mean, Stddev: math.Sqrt(variance),
+		P10: q(0.10), Median: q(0.50), P90: q(0.90),
+	}
+}
+
+// Spread returns Max-Min.
+func (s Summary) Spread() float64 { return s.Max - s.Min }
+
+// WriteDat renders series in gnuplot's "index" format: one block per
+// series, preceded by a comment header, blank-line separated.
+func WriteDat(w io.Writer, series ...*Series) error {
+	for i, s := range series {
+		if i > 0 {
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# %s\n", s.Name); err != nil {
+			return err
+		}
+		for _, p := range s.Points {
+			if _, err := fmt.Fprintf(w, "%g %g\n", p.X, p.Y); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Table renders rows of labeled values as an aligned text table.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render writes the table with aligned columns.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if i < len(widths) && len(c) < widths[i] {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			}
+		}
+		return strings.TrimRight(b.String(), " ")
+	}
+	if _, err := fmt.Fprintln(w, line(t.Header)); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Downsample returns at most n points of s, evenly spaced by index,
+// always keeping the first and last point. Useful to keep .dat files of
+// 5000-client experiments readable.
+func Downsample(s *Series, n int) *Series {
+	if n <= 0 || s.Len() <= n {
+		out := &Series{Name: s.Name, Points: append([]Point(nil), s.Points...)}
+		return out
+	}
+	out := &Series{Name: s.Name}
+	step := float64(s.Len()-1) / float64(n-1)
+	for i := 0; i < n; i++ {
+		out.Points = append(out.Points, s.Points[int(float64(i)*step+0.5)])
+	}
+	out.Points[n-1] = s.Points[s.Len()-1]
+	return out
+}

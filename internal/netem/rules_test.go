@@ -1,0 +1,212 @@
+package netem
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/ip"
+	"repro/internal/sim"
+)
+
+var (
+	anyNet = ip.Prefix{} // 0.0.0.0/0
+	netA   = ip.MustParsePrefix("10.1.0.0/16")
+	netB   = ip.MustParsePrefix("10.2.0.0/16")
+	hostA  = ip.MustParseAddr("10.1.3.207")
+	hostB  = ip.MustParseAddr("10.2.2.117")
+)
+
+func TestRuleMatches(t *testing.T) {
+	r := Rule{Src: netA, Dst: netB}
+	if !r.Matches(hostA, hostB) {
+		t.Error("rule should match A→B")
+	}
+	if r.Matches(hostB, hostA) {
+		t.Error("rule should not match B→A")
+	}
+}
+
+func TestRuleSetOrderedByID(t *testing.T) {
+	rs := NewRuleSet()
+	rs.Add(Rule{ID: 300, Action: ActionCount})
+	rs.Add(Rule{ID: 100, Action: ActionCount})
+	rs.Add(Rule{ID: 200, Action: ActionCount})
+	ids := []int{}
+	for _, r := range rs.Rules() {
+		ids = append(ids, r.ID)
+	}
+	if fmt.Sprint(ids) != "[100 200 300]" {
+		t.Fatalf("rule order = %v", ids)
+	}
+}
+
+func TestEvalCollectsPipesInOrder(t *testing.T) {
+	k := sim.New(1)
+	p1 := NewPipe(k, "p1", PipeConfig{})
+	p2 := NewPipe(k, "p2", PipeConfig{})
+	rs := NewRuleSet()
+	rs.AddPipe(ip.NewPrefix(hostA, 32), anyNet, p1) // per-node rule
+	rs.AddPipe(netA, netB, p2)                      // group latency rule
+	v := rs.Eval(hostA, hostB)
+	if len(v.Pipes) != 2 || v.Pipes[0] != p1 || v.Pipes[1] != p2 {
+		t.Fatalf("pipes = %v", v.Pipes)
+	}
+	if v.Deny {
+		t.Fatal("unexpected deny")
+	}
+}
+
+func TestEvalVisitsWholeTableWithoutTerminal(t *testing.T) {
+	rs := NewRuleSet()
+	for i := 0; i < 50; i++ {
+		rs.AddCount(netB, netB) // never matches A→B
+	}
+	v := rs.Eval(hostA, hostB)
+	if v.Visited != 50 {
+		t.Fatalf("visited = %d, want 50", v.Visited)
+	}
+}
+
+func TestEvalStopsAtAccept(t *testing.T) {
+	rs := NewRuleSet()
+	rs.AddCount(netB, netB)
+	rs.Add(Rule{ID: rs.NextID(), Action: ActionAccept}) // match-all accept
+	rs.AddCount(anyNet, anyNet)
+	v := rs.Eval(hostA, hostB)
+	if v.Visited != 2 {
+		t.Fatalf("visited = %d, want 2 (stop at accept)", v.Visited)
+	}
+}
+
+func TestEvalDeny(t *testing.T) {
+	rs := NewRuleSet()
+	rs.Add(Rule{ID: 100, Src: netA, Dst: netB, Action: ActionDeny})
+	v := rs.Eval(hostA, hostB)
+	if !v.Deny {
+		t.Fatal("want deny")
+	}
+	if rs.Eval(hostB, hostA).Deny {
+		t.Fatal("reverse direction should pass")
+	}
+}
+
+func TestEvalCostLinearInRules(t *testing.T) {
+	rs := NewRuleSet()
+	rs.PerRuleCost = 50 * time.Nanosecond
+	for i := 0; i < 1000; i++ {
+		rs.AddCount(netB, netB)
+	}
+	v := rs.Eval(hostA, hostB)
+	if v.Cost != 50*time.Microsecond {
+		t.Fatalf("cost = %v, want 50µs (1000 rules × 50ns)", v.Cost)
+	}
+}
+
+func TestEvalStatsAccumulate(t *testing.T) {
+	rs := NewRuleSet()
+	rs.AddCount(anyNet, anyNet)
+	rs.AddCount(anyNet, anyNet)
+	rs.Eval(hostA, hostB)
+	rs.Eval(hostB, hostA)
+	evals, visited := rs.EvalStats()
+	if evals != 2 || visited != 4 {
+		t.Fatalf("stats = (%d,%d), want (2,4)", evals, visited)
+	}
+}
+
+func TestNextID(t *testing.T) {
+	rs := NewRuleSet()
+	if rs.NextID() != 100 {
+		t.Fatalf("empty NextID = %d, want 100", rs.NextID())
+	}
+	rs.Add(Rule{ID: 100, Action: ActionCount})
+	if rs.NextID() != 101 {
+		t.Fatalf("NextID = %d, want 101", rs.NextID())
+	}
+}
+
+func TestRuleString(t *testing.T) {
+	k := sim.New(1)
+	p := NewPipe(k, "dsl", PipeConfig{})
+	r := Rule{ID: 100, Src: netA, Dst: netB, Action: ActionPipe, Pipe: p}
+	want := "00100 pipe dsl ip from 10.1.0.0/16 to 10.2.0.0/16"
+	if r.String() != want {
+		t.Fatalf("String = %q, want %q", r.String(), want)
+	}
+}
+
+func TestActionString(t *testing.T) {
+	cases := map[Action]string{
+		ActionPipe: "pipe", ActionAccept: "allow",
+		ActionDeny: "deny", ActionCount: "count", Action(99): "Action(99)",
+	}
+	for a, want := range cases {
+		if a.String() != want {
+			t.Errorf("Action(%d).String() = %q, want %q", int(a), a.String(), want)
+		}
+	}
+}
+
+func TestIndexedRuleSetMatchesLinear(t *testing.T) {
+	k := sim.New(1)
+	rs := NewRuleSet()
+	pipes := map[ip.Addr]*Pipe{}
+	// 50 per-host /32 rules plus filler.
+	base := ip.MustParseAddr("10.0.0.1")
+	for i := 0; i < 50; i++ {
+		a := base.Add(uint32(i))
+		p := NewPipe(k, a.String(), PipeConfig{})
+		pipes[a] = p
+		rs.AddPipe(ip.NewPrefix(a, 32), anyNet, p)
+	}
+	ix := NewIndexedRuleSet(rs)
+	for a, want := range pipes {
+		lv := rs.Eval(a, hostB)
+		iv := ix.Eval(a, hostB)
+		if len(lv.Pipes) != 1 || lv.Pipes[0] != want {
+			t.Fatalf("linear eval wrong for %v", a)
+		}
+		if len(iv.Pipes) != 1 || iv.Pipes[0] != want {
+			t.Fatalf("indexed eval wrong for %v", a)
+		}
+	}
+}
+
+func TestIndexedRuleSetCheaperThanLinear(t *testing.T) {
+	k := sim.New(1)
+	rs := NewRuleSet()
+	base := ip.MustParseAddr("10.0.0.1")
+	var last ip.Addr
+	for i := 0; i < 5000; i++ {
+		a := base.Add(uint32(i))
+		rs.AddPipe(ip.NewPrefix(a, 32), anyNet, NewPipe(k, "p", PipeConfig{}))
+		last = a
+	}
+	ix := NewIndexedRuleSet(rs)
+	lv := rs.Eval(last, hostB)
+	iv := ix.Eval(last, hostB)
+	if lv.Visited != 5000 {
+		t.Fatalf("linear visited = %d, want 5000", lv.Visited)
+	}
+	// The index buckets by /24, so one bucket (≤256 rules) is scanned
+	// instead of the whole 5000-rule table.
+	if iv.Visited > 256 {
+		t.Fatalf("indexed visited = %d, want one /24 bucket at most", iv.Visited)
+	}
+	if len(iv.Pipes) != 1 || iv.Pipes[0] != lv.Pipes[0] {
+		t.Fatal("indexed verdict differs from linear")
+	}
+}
+
+func TestIndexedRuleSetResidualWideRules(t *testing.T) {
+	k := sim.New(1)
+	rs := NewRuleSet()
+	wide := NewPipe(k, "wide", PipeConfig{})
+	rs.AddPipe(netA, netB, wide) // /16 rules go to the residual table
+	ix := NewIndexedRuleSet(rs)
+	v := ix.Eval(hostA, hostB)
+	if len(v.Pipes) != 1 || v.Pipes[0] != wide {
+		t.Fatalf("residual rule not applied: %v", v.Pipes)
+	}
+}

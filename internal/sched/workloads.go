@@ -1,0 +1,49 @@
+package sched
+
+import "time"
+
+// The paper's three process workloads.
+
+// AckermannWork is the solo runtime of the Fig 1 job ("calculating
+// Ackermann's function, requiring about 1.65 seconds to complete when
+// run alone"); it uses no significant memory.
+const AckermannWork = 1650 * time.Millisecond
+
+// MatrixWork and MatrixMem describe the Fig 2 job ("simple operations
+// on large matrices"): CPU-light but with a working set big enough that
+// ~22 instances fill a 2 GB machine.
+const (
+	MatrixWork = 1200 * time.Millisecond
+	MatrixMem  = 80_000_000
+)
+
+// FairnessWork is the solo runtime of the Fig 3 job ("when executed
+// alone, the program needs about 5 seconds to complete").
+const FairnessWork = 5 * time.Second
+
+// CPUBoundJobs returns n copies of the Fig 1 Ackermann job.
+func CPUBoundJobs(n int) []Job {
+	jobs := make([]Job, n)
+	for i := range jobs {
+		jobs[i] = Job{Work: AckermannWork}
+	}
+	return jobs
+}
+
+// MemoryJobs returns n copies of the Fig 2 matrix job.
+func MemoryJobs(n int) []Job {
+	jobs := make([]Job, n)
+	for i := range jobs {
+		jobs[i] = Job{Work: MatrixWork, Mem: MatrixMem}
+	}
+	return jobs
+}
+
+// FairnessJobs returns n copies of the Fig 3 five-second job.
+func FairnessJobs(n int) []Job {
+	jobs := make([]Job, n)
+	for i := range jobs {
+		jobs[i] = Job{Work: FairnessWork}
+	}
+	return jobs
+}

@@ -1,0 +1,160 @@
+package sim
+
+import "errors"
+
+// ErrClosed is returned when sending on or receiving from a closed Chan
+// once it has drained.
+var ErrClosed = errors.New("sim: channel closed")
+
+// Chan is a virtual-time message channel with an optional capacity bound,
+// analogous to a Go channel but scheduled by the kernel. A capacity of 0
+// means unbounded (senders never block).
+type Chan[T any] struct {
+	k        *Kernel
+	buf      []T
+	cap      int
+	closed   bool
+	notEmpty *Cond
+	notFull  *Cond
+}
+
+// NewChan returns a channel bound to kernel k. capacity 0 = unbounded.
+func NewChan[T any](k *Kernel, capacity int) *Chan[T] {
+	return &Chan[T]{
+		k:        k,
+		cap:      capacity,
+		notEmpty: NewCond(k),
+		notFull:  NewCond(k),
+	}
+}
+
+// Len reports the number of buffered items.
+func (c *Chan[T]) Len() int {
+	c.k.mu.Lock()
+	defer c.k.mu.Unlock()
+	return len(c.buf)
+}
+
+// Send enqueues v, parking while the channel is full. It returns
+// ErrClosed if the channel is (or becomes) closed.
+func (c *Chan[T]) Send(p *Proc, v T) error {
+	for {
+		c.k.mu.Lock()
+		if c.closed {
+			c.k.mu.Unlock()
+			return ErrClosed
+		}
+		if c.cap == 0 || len(c.buf) < c.cap {
+			c.buf = append(c.buf, v)
+			c.k.mu.Unlock()
+			c.notEmpty.Signal()
+			return nil
+		}
+		c.k.mu.Unlock()
+		c.notFull.Wait(p)
+	}
+}
+
+// TrySend enqueues v without blocking; it reports whether the item was
+// accepted (false when full or closed).
+func (c *Chan[T]) TrySend(v T) bool {
+	c.k.mu.Lock()
+	if c.closed || (c.cap > 0 && len(c.buf) >= c.cap) {
+		c.k.mu.Unlock()
+		return false
+	}
+	c.buf = append(c.buf, v)
+	c.k.mu.Unlock()
+	c.notEmpty.Signal()
+	return true
+}
+
+// TryRecv dequeues the oldest item without blocking; ok=false when the
+// buffer is empty.
+func (c *Chan[T]) TryRecv() (v T, ok bool) {
+	c.k.mu.Lock()
+	if len(c.buf) == 0 {
+		c.k.mu.Unlock()
+		return v, false
+	}
+	v = c.buf[0]
+	c.buf = c.buf[1:]
+	c.k.mu.Unlock()
+	c.notFull.Signal()
+	return v, true
+}
+
+// Recv dequeues the oldest item, parking while the channel is empty.
+// It returns ErrClosed once the channel is closed and drained.
+func (c *Chan[T]) Recv(p *Proc) (T, error) {
+	var zero T
+	for {
+		c.k.mu.Lock()
+		if len(c.buf) > 0 {
+			v := c.buf[0]
+			c.buf = c.buf[1:]
+			c.k.mu.Unlock()
+			c.notFull.Signal()
+			return v, nil
+		}
+		if c.closed {
+			c.k.mu.Unlock()
+			return zero, ErrClosed
+		}
+		c.k.mu.Unlock()
+		c.notEmpty.Wait(p)
+	}
+}
+
+// RecvTimeout is Recv with a virtual-time deadline. ok=false with a nil
+// error means the deadline expired. d <= 0 waits forever.
+func (c *Chan[T]) RecvTimeout(p *Proc, d Duration) (v T, ok bool, err error) {
+	deadline := p.Now().Add(d)
+	for {
+		c.k.mu.Lock()
+		if len(c.buf) > 0 {
+			v = c.buf[0]
+			c.buf = c.buf[1:]
+			c.k.mu.Unlock()
+			c.notFull.Signal()
+			return v, true, nil
+		}
+		if c.closed {
+			c.k.mu.Unlock()
+			return v, false, ErrClosed
+		}
+		c.k.mu.Unlock()
+		if d <= 0 {
+			c.notEmpty.Wait(p)
+			continue
+		}
+		remaining := deadline.Sub(p.Now())
+		if remaining <= 0 {
+			return v, false, nil
+		}
+		if !c.notEmpty.WaitTimeout(p, remaining) {
+			return v, false, nil
+		}
+	}
+}
+
+// Close marks the channel closed. Buffered items remain receivable;
+// blocked receivers and senders are released.
+func (c *Chan[T]) Close() {
+	c.k.mu.Lock()
+	if c.closed {
+		c.k.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.k.mu.Unlock()
+	c.notEmpty.Broadcast()
+	c.notFull.Broadcast()
+}
+
+// Closed reports whether Close has been called.
+func (c *Chan[T]) Closed() bool {
+	c.k.mu.Lock()
+	defer c.k.mu.Unlock()
+	return c.closed
+}

@@ -1,0 +1,104 @@
+package sim
+
+// Cond is a virtual-time condition variable: processes park on it with
+// Wait and are released in FIFO order by Signal or all at once by
+// Broadcast. Unlike sync.Cond there is no associated mutex — simulated
+// goroutines already execute one at a time, so state guarded by a Cond
+// can be read and written without further locking.
+type Cond struct {
+	k       *Kernel
+	waiters []*condWaiter
+}
+
+type condWaiter struct {
+	t        *task
+	fired    bool // woken by Signal/Broadcast (vs timeout)
+	timedOut bool
+	timer    *Event
+}
+
+// NewCond returns a condition variable bound to kernel k.
+func NewCond(k *Kernel) *Cond { return &Cond{k: k} }
+
+// Wait parks the calling process until Signal or Broadcast releases it.
+func (c *Cond) Wait(p *Proc) { c.wait(p, 0) }
+
+// WaitTimeout parks the calling process until it is signalled or d of
+// virtual time elapses. It reports whether the wakeup was a signal
+// (true) rather than a timeout (false). d <= 0 waits forever.
+func (c *Cond) WaitTimeout(p *Proc, d Duration) bool { return c.wait(p, d) }
+
+func (c *Cond) wait(p *Proc, d Duration) bool {
+	k := c.k
+	w := &condWaiter{t: p.t}
+	k.mu.Lock()
+	c.waiters = append(c.waiters, w)
+	if d > 0 {
+		w.timer = k.scheduleLocked(k.now.Add(d), func() {
+			k.mu.Lock()
+			defer k.mu.Unlock()
+			if w.fired {
+				return
+			}
+			w.fired = true
+			w.timedOut = true
+			c.removeLocked(w)
+			k.wakeLocked(w.t)
+		})
+	}
+	k.mu.Unlock()
+	p.park()
+	return !w.timedOut
+}
+
+// removeLocked unlinks w from the waiter list. Callers hold k.mu.
+func (c *Cond) removeLocked(w *condWaiter) {
+	for i, x := range c.waiters {
+		if x == w {
+			c.waiters = append(c.waiters[:i], c.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+// Signal releases the longest-waiting process, if any. It may be called
+// from simulated goroutines or from event callbacks.
+func (c *Cond) Signal() {
+	k := c.k
+	k.mu.Lock()
+	c.signalLocked()
+	k.mu.Unlock()
+}
+
+func (c *Cond) signalLocked() {
+	for len(c.waiters) > 0 {
+		w := c.waiters[0]
+		c.waiters = c.waiters[1:]
+		if w.fired {
+			continue
+		}
+		w.fired = true
+		if w.timer != nil {
+			w.timer.ev.dead = true
+		}
+		c.k.wakeLocked(w.t)
+		return
+	}
+}
+
+// Broadcast releases every waiting process.
+func (c *Cond) Broadcast() {
+	k := c.k
+	k.mu.Lock()
+	for len(c.waiters) > 0 {
+		c.signalLocked()
+	}
+	k.mu.Unlock()
+}
+
+// Len reports how many processes are currently parked on the Cond.
+func (c *Cond) Len() int {
+	c.k.mu.Lock()
+	defer c.k.mu.Unlock()
+	return len(c.waiters)
+}

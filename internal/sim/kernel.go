@@ -1,0 +1,389 @@
+// Package sim implements a deterministic virtual-time simulation kernel.
+//
+// The kernel multiplexes many simulated processes (real goroutines) onto a
+// single logical timeline. Exactly one simulated goroutine executes at any
+// real instant; the virtual clock advances only when every simulated
+// goroutine is parked. This yields bit-for-bit reproducible runs for a
+// fixed seed, which is the property the P2PLab paper calls "allowing
+// reproduction of experiments".
+//
+// The two core abstractions are:
+//
+//   - Kernel: the event queue, the clock and the run loop.
+//   - Proc: the handle a simulated goroutine uses to block (Sleep, Wait),
+//     spawn children (Go) and observe time (Now).
+//
+// Blocking primitives (Cond, Chan, Semaphore) are built on top of the
+// park/wake mechanism and are safe to use only from simulated goroutines.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Time is an absolute instant on the virtual timeline, in nanoseconds
+// since the start of the simulation.
+type Time int64
+
+// Duration re-exports time.Duration for callers' convenience.
+type Duration = time.Duration
+
+// Add returns the instant d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration between two instants.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Seconds returns the instant expressed in seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(time.Second) }
+
+// String formats the instant as a duration since simulation start.
+func (t Time) String() string { return Duration(t).String() }
+
+// event is a scheduled callback. Callbacks run inside the kernel loop and
+// must not block; they typically wake parked tasks or schedule more events.
+type event struct {
+	at   Time
+	seq  uint64 // FIFO tie-break for events at the same instant
+	fn   func()
+	idx  int // heap index, -1 when popped or cancelled
+	dead bool
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].idx = i
+	q[j].idx = j
+}
+func (q *eventQueue) Push(x any) {
+	ev := x.(*event)
+	ev.idx = len(*q)
+	*q = append(*q, ev)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.idx = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// task is the kernel-side state of one simulated goroutine.
+type task struct {
+	name    string
+	wake    chan struct{} // capacity 1; token grant
+	blocked bool          // parked, waiting for a wake
+	exited  bool
+	killed  bool // task should unwind instead of resuming
+}
+
+// killedPanic is the sentinel used to unwind tasks that are still parked
+// when a run ends (horizon reached, Stop called, or deadlock reported).
+type killedPanic struct{}
+
+// Kernel is a deterministic discrete-event simulation kernel.
+// Create one with New, spawn the root process with Go, then call Run.
+type Kernel struct {
+	mu   sync.Mutex
+	cond *sync.Cond // signalled when the running task yields
+
+	now     Time
+	seq     uint64
+	events  eventQueue
+	ready   []*task // runnable tasks, FIFO
+	running bool    // a task currently holds the execution token
+	nLive   int     // spawned and not yet exited
+	nBlock  int     // parked tasks
+	blocked map[*task]struct{}
+
+	rng     *rand.Rand
+	stopped bool
+	limit   Time // 0 = no limit
+	stats   Stats
+}
+
+// Stats counts kernel activity over a run; useful for throughput
+// benchmarks and for validating experiment scale.
+type Stats struct {
+	Events   uint64 // callbacks dispatched
+	Switches uint64 // task activations
+	Spawns   uint64 // tasks created
+}
+
+// New returns a kernel whose random source is seeded with seed.
+// The same seed and workload reproduce the same run exactly.
+func New(seed int64) *Kernel {
+	k := &Kernel{
+		rng:     rand.New(rand.NewSource(seed)),
+		blocked: make(map[*task]struct{}),
+	}
+	k.cond = sync.NewCond(&k.mu)
+	return k
+}
+
+// Now returns the current virtual time. Safe from any goroutine.
+func (k *Kernel) Now() Time {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.now
+}
+
+// Stats returns a snapshot of kernel activity counters.
+func (k *Kernel) Snapshot() Stats {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.stats
+}
+
+// Rand returns the kernel's deterministic random source. Because simulated
+// goroutines execute one at a time, sharing one source is race-free and
+// deterministic.
+func (k *Kernel) Rand() *rand.Rand { return k.rng }
+
+// Go spawns a new simulated goroutine executing fn. It may be called
+// before Run (to create the initial population) or from a running
+// simulated goroutine. The child starts at the current virtual time,
+// after the caller next yields.
+func (k *Kernel) Go(name string, fn func(p *Proc)) {
+	t := &task{name: name, wake: make(chan struct{}, 1)}
+	p := &Proc{k: k, t: t}
+	k.mu.Lock()
+	k.nLive++
+	k.stats.Spawns++
+	k.ready = append(k.ready, t)
+	k.mu.Unlock()
+	go func() {
+		<-t.wake // wait for the scheduler to grant the token
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(killedPanic); !ok {
+					panic(r) // real panic from user code: propagate
+				}
+			}
+			k.exit(t)
+		}()
+		if t.killed {
+			return
+		}
+		fn(p)
+	}()
+}
+
+// exit releases the execution token when a task's function returns.
+func (k *Kernel) exit(t *task) {
+	k.mu.Lock()
+	t.exited = true
+	k.nLive--
+	k.running = false
+	k.cond.Signal()
+	k.mu.Unlock()
+}
+
+// At schedules fn to run at instant at (clamped to now if in the past).
+// fn executes inside the kernel loop and must not block. It returns a
+// handle that can cancel the event before it fires.
+func (k *Kernel) At(at Time, fn func()) *Event {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.scheduleLocked(at, fn)
+}
+
+// After schedules fn to run d after the current virtual time.
+func (k *Kernel) After(d Duration, fn func()) *Event {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.scheduleLocked(k.now.Add(d), fn)
+}
+
+func (k *Kernel) scheduleLocked(at Time, fn func()) *Event {
+	if at < k.now {
+		at = k.now
+	}
+	ev := &event{at: at, seq: k.seq, fn: fn}
+	k.seq++
+	heap.Push(&k.events, ev)
+	return &Event{k: k, ev: ev}
+}
+
+// Event is a cancellable handle to a scheduled callback.
+type Event struct {
+	k  *Kernel
+	ev *event
+}
+
+// Cancel prevents the callback from running if it has not fired yet.
+// It reports whether the cancellation took effect.
+func (e *Event) Cancel() bool {
+	if e == nil || e.ev == nil {
+		return false
+	}
+	e.k.mu.Lock()
+	defer e.k.mu.Unlock()
+	if e.ev.dead || e.ev.idx < 0 {
+		return false
+	}
+	e.ev.dead = true
+	return true
+}
+
+// DeadlockError is returned by Run when simulated goroutines remain
+// parked but no event can ever wake them.
+type DeadlockError struct {
+	Now     Time
+	Blocked []string // names of parked tasks
+}
+
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock at %v: %d task(s) parked forever: %s",
+		e.Now, len(e.Blocked), strings.Join(e.Blocked, ", "))
+}
+
+// Run executes the simulation until no work remains: every task has
+// exited and the event queue is empty (events scheduled beyond RunUntil's
+// limit are discarded). It returns a *DeadlockError if tasks are parked
+// with no pending events, and nil otherwise. Run must be called from a
+// non-simulated goroutine, exactly once.
+func (k *Kernel) Run() error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	for {
+		if k.stopped {
+			k.killAllLocked()
+			return nil
+		}
+		// 1. Run every ready task to its next park point, in FIFO order.
+		if len(k.ready) > 0 {
+			t := k.ready[0]
+			copy(k.ready, k.ready[1:])
+			k.ready = k.ready[:len(k.ready)-1]
+			k.running = true
+			k.stats.Switches++
+			t.wake <- struct{}{}
+			for k.running {
+				k.cond.Wait()
+			}
+			continue
+		}
+		// 2. Advance the clock to the next event batch.
+		if k.events.Len() > 0 {
+			ev := heap.Pop(&k.events).(*event)
+			if ev.dead {
+				continue
+			}
+			if k.limit > 0 && ev.at > k.limit {
+				// Past the horizon: drop remaining events and stop.
+				k.now = k.limit
+				k.drainLocked()
+				k.killAllLocked()
+				return nil
+			}
+			k.now = ev.at
+			k.stats.Events++
+			// Callbacks run without the kernel lock: no simulated
+			// goroutine is executing at this point (ready is empty and
+			// running is false), so callbacks may freely use the public
+			// blocking-free API (Cond.Signal, Kernel.At, ...).
+			k.mu.Unlock()
+			ev.fn()
+			k.mu.Lock()
+			continue
+		}
+		// 3. Nothing runnable, nothing scheduled.
+		if k.nBlock > 0 {
+			names := make([]string, 0, len(k.blocked))
+			for t := range k.blocked {
+				names = append(names, t.name)
+			}
+			sort.Strings(names)
+			err := &DeadlockError{Now: k.now, Blocked: names}
+			k.killAllLocked()
+			return err
+		}
+		return nil
+	}
+}
+
+// killAllLocked unwinds every remaining task (parked or ready) so a
+// finished run leaks no goroutines. Unwound tasks panic with a sentinel
+// that the Go wrapper recovers; their deferred functions must not call
+// blocking sim primitives. Callers hold k.mu; on return nLive is zero.
+func (k *Kernel) killAllLocked() {
+	for t := range k.blocked {
+		t.killed = true
+		t.blocked = false
+		delete(k.blocked, t)
+		k.nBlock--
+		t.wake <- struct{}{}
+	}
+	for _, t := range k.ready {
+		t.killed = true
+		t.wake <- struct{}{}
+	}
+	k.ready = nil
+	for k.nLive > 0 {
+		k.cond.Wait()
+	}
+}
+
+// RunUntil executes the simulation like Run but stops once virtual time
+// would pass limit. Tasks still parked at the horizon are abandoned (the
+// usual way to end an open-ended experiment such as a swarm download).
+func (k *Kernel) RunUntil(limit Time) error {
+	k.mu.Lock()
+	k.limit = limit
+	k.mu.Unlock()
+	err := k.Run()
+	var dl *DeadlockError
+	if e, ok := err.(*DeadlockError); ok {
+		dl = e
+	}
+	// A horizon-limited run treats parked-forever tasks as "experiment
+	// over", not an error, as long as the horizon was actually reached.
+	if dl != nil && k.Now() >= limit {
+		return nil
+	}
+	return err
+}
+
+// drainLocked discards all pending events. Callers hold k.mu.
+func (k *Kernel) drainLocked() {
+	for k.events.Len() > 0 {
+		heap.Pop(&k.events)
+	}
+}
+
+// Stop aborts the run loop at the next scheduling point. Safe to call
+// from event callbacks or simulated goroutines.
+func (k *Kernel) Stop() {
+	k.mu.Lock()
+	k.stopped = true
+	k.mu.Unlock()
+}
+
+// wakeLocked moves a parked task to the ready queue. Callers hold k.mu.
+func (k *Kernel) wakeLocked(t *task) {
+	if !t.blocked || t.exited {
+		return
+	}
+	t.blocked = false
+	k.nBlock--
+	delete(k.blocked, t)
+	k.ready = append(k.ready, t)
+}

@@ -1,0 +1,298 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestClockStartsAtZero(t *testing.T) {
+	k := New(1)
+	if k.Now() != 0 {
+		t.Fatalf("new kernel clock = %v, want 0", k.Now())
+	}
+}
+
+func TestSleepAdvancesClock(t *testing.T) {
+	k := New(1)
+	var end Time
+	k.Go("sleeper", func(p *Proc) {
+		p.Sleep(3 * time.Second)
+		end = p.Now()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if end != Time(3*time.Second) {
+		t.Fatalf("woke at %v, want 3s", end)
+	}
+}
+
+func TestSleepZeroYields(t *testing.T) {
+	k := New(1)
+	var order []string
+	k.Go("a", func(p *Proc) {
+		order = append(order, "a1")
+		p.Yield()
+		order = append(order, "a2")
+	})
+	k.Go("b", func(p *Proc) {
+		order = append(order, "b1")
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a1", "b1", "a2"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestEventsFireInTimestampOrder(t *testing.T) {
+	k := New(1)
+	var got []int
+	k.At(Time(5*time.Second), func() { got = append(got, 5) })
+	k.At(Time(1*time.Second), func() { got = append(got, 1) })
+	k.At(Time(3*time.Second), func() { got = append(got, 3) })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 3 || got[2] != 5 {
+		t.Fatalf("event order = %v, want [1 3 5]", got)
+	}
+}
+
+func TestSameInstantEventsFIFO(t *testing.T) {
+	k := New(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.At(Time(time.Second), func() { got = append(got, i) })
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-instant order = %v, want FIFO", got)
+		}
+	}
+}
+
+func TestEventCancel(t *testing.T) {
+	k := New(1)
+	fired := false
+	ev := k.At(Time(time.Second), func() { fired = true })
+	if !ev.Cancel() {
+		t.Fatal("Cancel reported failure on pending event")
+	}
+	if ev.Cancel() {
+		t.Fatal("second Cancel should report false")
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	k := New(1)
+	c := NewCond(k)
+	k.Go("stuck", func(p *Proc) { c.Wait(p) })
+	err := k.Run()
+	var dl *DeadlockError
+	if !errors.As(err, &dl) {
+		t.Fatalf("Run = %v, want DeadlockError", err)
+	}
+	if len(dl.Blocked) != 1 || dl.Blocked[0] != "stuck" {
+		t.Fatalf("blocked = %v, want [stuck]", dl.Blocked)
+	}
+}
+
+func TestRunUntilHorizon(t *testing.T) {
+	k := New(1)
+	var last Time
+	k.Go("ticker", func(p *Proc) {
+		for {
+			p.Sleep(time.Second)
+			last = p.Now()
+		}
+	})
+	if err := k.RunUntil(Time(10*time.Second) + 1); err != nil {
+		t.Fatal(err)
+	}
+	if last != Time(10*time.Second) {
+		t.Fatalf("last tick at %v, want 10s", last)
+	}
+	if k.Now() != Time(10*time.Second)+1 {
+		t.Fatalf("final clock %v, want horizon", k.Now())
+	}
+}
+
+func TestRunUntilStillReportsEarlyDeadlock(t *testing.T) {
+	k := New(1)
+	c := NewCond(k)
+	k.Go("stuck", func(p *Proc) { c.Wait(p) })
+	err := k.RunUntil(Time(time.Hour))
+	var dl *DeadlockError
+	if !errors.As(err, &dl) {
+		t.Fatalf("RunUntil = %v, want DeadlockError before horizon", err)
+	}
+}
+
+func TestStopEndsRun(t *testing.T) {
+	k := New(1)
+	n := 0
+	k.Go("worker", func(p *Proc) {
+		for {
+			p.Sleep(time.Second)
+			n++
+			if n == 5 {
+				k.Stop()
+			}
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Fatalf("iterations = %d, want 5", n)
+	}
+}
+
+func TestSpawnFromRunningProc(t *testing.T) {
+	k := New(1)
+	var childTime Time
+	k.Go("parent", func(p *Proc) {
+		p.Sleep(time.Second)
+		p.Go("child", func(c *Proc) {
+			childTime = c.Now()
+		})
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if childTime != Time(time.Second) {
+		t.Fatalf("child started at %v, want 1s", childTime)
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	trace := func() string {
+		k := New(42)
+		out := ""
+		for i := 0; i < 20; i++ {
+			i := i
+			k.Go(fmt.Sprintf("p%d", i), func(p *Proc) {
+				d := Duration(p.Rand().Intn(1000)) * time.Millisecond
+				p.Sleep(d)
+				out += fmt.Sprintf("%d@%v;", i, p.Now())
+			})
+		}
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := trace(), trace()
+	if a != b {
+		t.Fatalf("runs with same seed diverged:\n%s\n%s", a, b)
+	}
+}
+
+func TestSeedChangesSchedule(t *testing.T) {
+	trace := func(seed int64) string {
+		k := New(seed)
+		out := ""
+		for i := 0; i < 20; i++ {
+			i := i
+			k.Go(fmt.Sprintf("p%d", i), func(p *Proc) {
+				p.Sleep(Duration(p.Rand().Intn(1000)) * time.Millisecond)
+				out += fmt.Sprintf("%d@%v;", i, p.Now())
+			})
+		}
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	if trace(1) == trace(2) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	k := New(1)
+	for i := 0; i < 3; i++ {
+		k.Go("p", func(p *Proc) { p.Sleep(time.Second) })
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	s := k.Snapshot()
+	if s.Spawns != 3 {
+		t.Fatalf("spawns = %d, want 3", s.Spawns)
+	}
+	if s.Events < 3 {
+		t.Fatalf("events = %d, want >= 3 (one wake per sleeper)", s.Events)
+	}
+	if s.Switches < 6 {
+		t.Fatalf("switches = %d, want >= 6 (start + resume per task)", s.Switches)
+	}
+}
+
+func TestTimeArithmetic(t *testing.T) {
+	a := Time(time.Second)
+	if a.Add(time.Second) != Time(2*time.Second) {
+		t.Fatal("Add broken")
+	}
+	if a.Add(time.Second).Sub(a) != time.Second {
+		t.Fatal("Sub broken")
+	}
+	if a.Seconds() != 1.0 {
+		t.Fatalf("Seconds = %v, want 1", a.Seconds())
+	}
+	if a.String() != "1s" {
+		t.Fatalf("String = %q, want 1s", a.String())
+	}
+}
+
+func TestManyTasksScale(t *testing.T) {
+	k := New(7)
+	const n = 2000
+	done := 0
+	for i := 0; i < n; i++ {
+		k.Go("w", func(p *Proc) {
+			for j := 0; j < 5; j++ {
+				p.Sleep(Duration(1+p.Rand().Intn(100)) * time.Millisecond)
+			}
+			done++
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if done != n {
+		t.Fatalf("completed = %d, want %d", done, n)
+	}
+}
+
+func TestAtInPastClampsToNow(t *testing.T) {
+	k := New(1)
+	var fireTime Time
+	k.Go("p", func(p *Proc) {
+		p.Sleep(5 * time.Second)
+		k.At(Time(time.Second), func() { fireTime = k.Now() })
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fireTime != Time(5*time.Second) {
+		t.Fatalf("past event fired at %v, want clamp to 5s", fireTime)
+	}
+}

@@ -1,0 +1,96 @@
+package sim
+
+// The primitives in this file rely on the kernel's serialization
+// invariant: exactly one simulated goroutine executes at a time, and
+// event callbacks only run when no goroutine is executing. A
+// check-then-park sequence is therefore atomic with respect to all other
+// simulated activity and cannot lose wakeups.
+
+// Semaphore is a counting semaphore on virtual time.
+type Semaphore struct {
+	k     *Kernel
+	avail int
+	cond  *Cond
+}
+
+// NewSemaphore returns a semaphore with n initial permits.
+func NewSemaphore(k *Kernel, n int) *Semaphore {
+	return &Semaphore{k: k, avail: n, cond: NewCond(k)}
+}
+
+// Acquire takes one permit, parking until one is available.
+func (s *Semaphore) Acquire(p *Proc) {
+	for s.avail == 0 {
+		s.cond.Wait(p)
+	}
+	s.avail--
+}
+
+// TryAcquire takes a permit without blocking; reports success.
+func (s *Semaphore) TryAcquire() bool {
+	if s.avail == 0 {
+		return false
+	}
+	s.avail--
+	return true
+}
+
+// Release returns one permit and wakes a waiter if any.
+func (s *Semaphore) Release() {
+	s.avail++
+	s.cond.Signal()
+}
+
+// Available reports the current permit count.
+func (s *Semaphore) Available() int { return s.avail }
+
+// WaitGroup tracks a set of outstanding simulated activities, like
+// sync.WaitGroup but parking on virtual time.
+type WaitGroup struct {
+	k    *Kernel
+	n    int
+	cond *Cond
+}
+
+// NewWaitGroup returns an empty wait group.
+func NewWaitGroup(k *Kernel) *WaitGroup {
+	return &WaitGroup{k: k, cond: NewCond(k)}
+}
+
+// Add adds delta to the counter.
+func (w *WaitGroup) Add(delta int) {
+	w.n += delta
+	if w.n < 0 {
+		panic("sim: negative WaitGroup counter")
+	}
+	if w.n == 0 {
+		w.cond.Broadcast()
+	}
+}
+
+// Done decrements the counter by one.
+func (w *WaitGroup) Done() { w.Add(-1) }
+
+// Wait parks until the counter reaches zero.
+func (w *WaitGroup) Wait(p *Proc) {
+	for w.n > 0 {
+		w.cond.Wait(p)
+	}
+}
+
+// WaitTimeout parks until the counter reaches zero or d elapses; it
+// reports whether the counter reached zero.
+func (w *WaitGroup) WaitTimeout(p *Proc, d Duration) bool {
+	deadline := p.Now().Add(d)
+	for w.n > 0 {
+		remaining := deadline.Sub(p.Now())
+		if remaining <= 0 {
+			return false
+		}
+		w.cond.WaitTimeout(p, remaining)
+	}
+	return true
+}
+
+// Pending reports the current counter value.
+func (w *WaitGroup) Pending() int { return w.n }

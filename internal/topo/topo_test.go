@@ -1,0 +1,142 @@
+package topo
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/ip"
+)
+
+func TestAddGroupDuplicateName(t *testing.T) {
+	tp := New()
+	tp.MustAddGroup(Group{Name: "a", Prefix: ip.MustParsePrefix("10.1.0.0/16")})
+	if _, err := tp.AddGroup(Group{Name: "a", Prefix: ip.MustParsePrefix("10.2.0.0/16")}); err == nil {
+		t.Fatal("duplicate name should fail")
+	}
+}
+
+func TestAddGroupNestingAllowed(t *testing.T) {
+	tp := New()
+	tp.MustAddGroup(Group{Name: "outer", Prefix: ip.MustParsePrefix("10.1.0.0/16")})
+	if _, err := tp.AddGroup(Group{Name: "inner", Prefix: ip.MustParsePrefix("10.1.3.0/24"), Nodes: 10}); err != nil {
+		t.Fatalf("nesting should be allowed: %v", err)
+	}
+}
+
+func TestAddGroupTooManyNodes(t *testing.T) {
+	tp := New()
+	if _, err := tp.AddGroup(Group{Name: "x", Prefix: ip.MustParsePrefix("10.1.3.0/24"), Nodes: 300}); err == nil {
+		t.Fatal("300 nodes cannot fit a /24")
+	}
+}
+
+func TestSetLatencyUnknownGroup(t *testing.T) {
+	tp := New()
+	tp.MustAddGroup(Group{Name: "a", Prefix: ip.MustParsePrefix("10.1.0.0/16")})
+	if err := tp.SetLatency("a", "nope", time.Second); err == nil {
+		t.Fatal("unknown group should fail")
+	}
+}
+
+func TestLocateMostSpecific(t *testing.T) {
+	tp := Fig7()
+	g := tp.Locate(ip.MustParseAddr("10.1.3.207"))
+	if g == nil || g.Name != "isp-fast-dsl" {
+		t.Fatalf("Locate = %v, want isp-fast-dsl", g)
+	}
+	if tp.Locate(ip.MustParseAddr("192.168.38.1")) != nil {
+		t.Fatal("admin subnet should not be located")
+	}
+}
+
+func TestFig7GroupLatencies(t *testing.T) {
+	tp := Fig7()
+	cases := []struct {
+		src, dst string
+		want     time.Duration
+	}{
+		{"10.1.3.207", "10.2.2.117", 400 * time.Millisecond}, // region-1 ↔ region-2
+		{"10.1.3.207", "10.1.1.5", 100 * time.Millisecond},   // ISP ↔ ISP inside region 1
+		{"10.1.3.207", "10.3.0.9", 600 * time.Millisecond},   // region-1 ↔ region-3
+		{"10.2.2.117", "10.3.0.9", 1000 * time.Millisecond},  // region-2 ↔ region-3
+		{"10.1.3.207", "10.1.3.10", 0},                       // same ISP
+	}
+	for _, c := range cases {
+		got := tp.GroupLatency(ip.MustParseAddr(c.src), ip.MustParseAddr(c.dst))
+		if got != c.want {
+			t.Errorf("GroupLatency(%s→%s) = %v, want %v", c.src, c.dst, got, c.want)
+		}
+	}
+}
+
+func TestFig7PathLatencyDecomposition(t *testing.T) {
+	// The paper's worked example: 10.1.3.207 → 10.2.2.117 one way is
+	// 20 ms (fast-dsl egress) + 400 ms (region pair) + 5 ms (campus
+	// ingress) = 425 ms; the measured RTT was 853 ms (850 + overhead).
+	tp := Fig7()
+	oneWay := tp.PathLatency(ip.MustParseAddr("10.1.3.207"), ip.MustParseAddr("10.2.2.117"))
+	if oneWay != 425*time.Millisecond {
+		t.Fatalf("one-way latency = %v, want 425ms", oneWay)
+	}
+	back := tp.PathLatency(ip.MustParseAddr("10.2.2.117"), ip.MustParseAddr("10.1.3.207"))
+	if oneWay+back != 850*time.Millisecond {
+		t.Fatalf("model RTT = %v, want 850ms", oneWay+back)
+	}
+}
+
+func TestGroupLatencySymmetric(t *testing.T) {
+	tp := Fig7()
+	a, b := ip.MustParseAddr("10.1.1.1"), ip.MustParseAddr("10.3.1.1")
+	if tp.GroupLatency(a, b) != tp.GroupLatency(b, a) {
+		t.Fatal("group latency must be symmetric")
+	}
+}
+
+func TestFig7NodeCount(t *testing.T) {
+	tp := Fig7()
+	if got := tp.TotalNodes(); got != 2750 {
+		t.Fatalf("TotalNodes = %d, want 2750 (3×250 + 2×1000)", got)
+	}
+	if len(tp.LeafGroups()) != 5 {
+		t.Fatalf("leaf groups = %d, want 5", len(tp.LeafGroups()))
+	}
+}
+
+func TestUniformTopology(t *testing.T) {
+	tp := Uniform(160, DSL)
+	if tp.TotalNodes() != 160 {
+		t.Fatalf("TotalNodes = %d", tp.TotalNodes())
+	}
+	g := tp.Locate(ip.MustParseAddr("10.0.0.5"))
+	if g == nil || g.Class.Name != "dsl" {
+		t.Fatalf("Locate = %+v", g)
+	}
+	if tp.PathLatency(ip.MustParseAddr("10.0.0.1"), ip.MustParseAddr("10.0.0.2")) != 60*time.Millisecond {
+		t.Fatal("uniform path latency should be 2×30ms access latency")
+	}
+}
+
+func TestDSLClassMatchesPaper(t *testing.T) {
+	if DSL.Down != 2_000_000 || DSL.Up != 128_000 || DSL.Latency != 30*time.Millisecond {
+		t.Fatalf("DSL class drifted from the paper: %+v", DSL)
+	}
+}
+
+func TestStraddlingPrefixRejected(t *testing.T) {
+	tp := New()
+	tp.MustAddGroup(Group{Name: "a", Prefix: ip.MustParsePrefix("10.1.0.0/16")})
+	// /8 contains the /16 — allowed (nesting), not straddling.
+	if _, err := tp.AddGroup(Group{Name: "b", Prefix: ip.MustParsePrefix("10.0.0.0/8")}); err != nil {
+		t.Fatalf("containment should be allowed: %v", err)
+	}
+}
+
+func TestGroupLookupByName(t *testing.T) {
+	tp := Fig7()
+	if tp.Group("region-2") == nil {
+		t.Fatal("Group lookup failed")
+	}
+	if tp.Group("nope") != nil {
+		t.Fatal("unknown group should be nil")
+	}
+}

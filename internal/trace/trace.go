@@ -1,0 +1,92 @@
+// Package trace records structured experiment events on the virtual
+// timeline — the observability side of an experimentation platform
+// (the paper instruments its BitTorrent client by time-stamping its
+// output; here the platform itself can time-stamp everything).
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/sim"
+)
+
+// Event is one time-stamped record.
+type Event struct {
+	At   sim.Time
+	Cat  string // category: "net.send", "bt.piece", "chord.lookup", ...
+	Node string // originating node (address or name)
+	Msg  string
+}
+
+// Log is a bounded in-memory event recorder. A zero Log is unusable;
+// create one with New. Methods are safe from simulated goroutines and
+// kernel callbacks (the sequential kernel serializes them).
+type Log struct {
+	max    int
+	events []Event
+	counts map[string]uint64
+	drops  uint64
+}
+
+// New returns a log keeping at most max events (older events are
+// discarded first; counters keep counting). max <= 0 means unbounded.
+func New(max int) *Log {
+	return &Log{max: max, counts: make(map[string]uint64)}
+}
+
+// Add records an event.
+func (l *Log) Add(at sim.Time, cat, node, format string, args ...any) {
+	l.counts[cat]++
+	if l.max > 0 && len(l.events) >= l.max {
+		// Drop the oldest half in one move to amortize.
+		n := copy(l.events, l.events[len(l.events)/2:])
+		l.events = l.events[:n]
+		l.drops++
+	}
+	l.events = append(l.events, Event{At: at, Cat: cat, Node: node, Msg: fmt.Sprintf(format, args...)})
+}
+
+// Len returns the number of retained events.
+func (l *Log) Len() int { return len(l.events) }
+
+// Count returns how many events of a category were ever recorded
+// (including discarded ones).
+func (l *Log) Count(cat string) uint64 { return l.counts[cat] }
+
+// Events returns the retained events in order. The slice is shared; do
+// not mutate.
+func (l *Log) Events() []Event { return l.events }
+
+// Filter returns retained events of one category.
+func (l *Log) Filter(cat string) []Event {
+	var out []Event
+	for _, e := range l.events {
+		if e.Cat == cat {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Between returns retained events within [from, to).
+func (l *Log) Between(from, to sim.Time) []Event {
+	var out []Event
+	for _, e := range l.events {
+		if e.At >= from && e.At < to {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Render writes the retained events as a readable timeline.
+func (l *Log) Render(w io.Writer) error {
+	for _, e := range l.events {
+		if _, err := fmt.Fprintf(w, "%12s  %-12s %-16s %s\n",
+			e.At.String(), e.Cat, e.Node, e.Msg); err != nil {
+			return err
+		}
+	}
+	return nil
+}

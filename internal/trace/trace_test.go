@@ -1,0 +1,73 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func at(s int) sim.Time { return sim.Time(time.Duration(s) * time.Second) }
+
+func TestAddAndFilter(t *testing.T) {
+	l := New(0)
+	l.Add(at(1), "net.send", "10.0.0.1", "msg %d", 1)
+	l.Add(at(2), "bt.piece", "10.0.0.2", "piece %d", 7)
+	l.Add(at(3), "net.send", "10.0.0.1", "msg %d", 2)
+	if l.Len() != 3 {
+		t.Fatalf("len = %d", l.Len())
+	}
+	sends := l.Filter("net.send")
+	if len(sends) != 2 || sends[1].Msg != "msg 2" {
+		t.Fatalf("filter = %+v", sends)
+	}
+	if l.Count("net.send") != 2 || l.Count("bt.piece") != 1 {
+		t.Fatal("counts wrong")
+	}
+	if l.Count("nothing") != 0 {
+		t.Fatal("unknown category should count 0")
+	}
+}
+
+func TestBounded(t *testing.T) {
+	l := New(10)
+	for i := 0; i < 100; i++ {
+		l.Add(at(i), "c", "n", "e%d", i)
+	}
+	if l.Len() > 10 {
+		t.Fatalf("len = %d, want ≤ 10", l.Len())
+	}
+	if l.Count("c") != 100 {
+		t.Fatalf("count = %d, want 100 despite truncation", l.Count("c"))
+	}
+	// The newest event survives.
+	events := l.Events()
+	if events[len(events)-1].Msg != "e99" {
+		t.Fatalf("newest lost: %+v", events[len(events)-1])
+	}
+}
+
+func TestBetween(t *testing.T) {
+	l := New(0)
+	for i := 0; i < 10; i++ {
+		l.Add(at(i), "c", "n", "e%d", i)
+	}
+	mid := l.Between(at(3), at(6))
+	if len(mid) != 3 || mid[0].Msg != "e3" || mid[2].Msg != "e5" {
+		t.Fatalf("between = %+v", mid)
+	}
+}
+
+func TestRender(t *testing.T) {
+	l := New(0)
+	l.Add(at(1), "chord.lookup", "10.0.0.5", "key abc -> node 7")
+	var sb strings.Builder
+	if err := l.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "chord.lookup") || !strings.Contains(out, "10.0.0.5") {
+		t.Fatalf("render = %q", out)
+	}
+}

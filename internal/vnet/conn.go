@@ -1,0 +1,292 @@
+package vnet
+
+import (
+	"errors"
+	"io"
+
+	"repro/internal/ip"
+	"repro/internal/sim"
+)
+
+// Packet is one received message: real bytes, or a sparse payload
+// described by Meta and Size (used by large-swarm experiments to avoid
+// materializing gigabytes of piece data).
+type Packet struct {
+	Data []byte
+	Meta any
+	Size int
+	From ip.Endpoint
+}
+
+// Len returns the payload length in bytes regardless of representation.
+func (pk Packet) Len() int {
+	if pk.Data != nil {
+		return len(pk.Data)
+	}
+	return pk.Size
+}
+
+// Conn is a TCP-like reliable, ordered, message-boundary-preserving
+// connection between two virtual nodes. Reliability is modelled (lossy
+// pipes trigger retransmission with backoff); ordering follows from the
+// FIFO pipe model.
+type Conn struct {
+	h           *Host
+	id          uint64
+	local       ip.Endpoint
+	remote      ip.Endpoint
+	inbox       *sim.Chan[Packet]
+	hs          *sim.Cond
+	established bool
+	refused     bool
+	closed      bool
+	remoteDone  bool
+	readRest    []byte
+
+	// TCP-like sequencing: retransmitted messages may arrive out of
+	// order relative to later messages or the FIN, so delivery to the
+	// inbox is reordered by sequence number.
+	sendSeq  uint64
+	recvNext uint64
+	pending  map[uint64]Packet
+	finSeen  bool
+	finSeq   uint64
+
+	// sink, when set, receives packets instead of the inbox. It runs in
+	// kernel-callback context and must not block.
+	sink    func(pk Packet, closed bool)
+	sinkEOF bool
+}
+
+// SetSink switches the connection to push delivery: every subsequent
+// in-order packet is handed to fn instead of the blocking inbox, and fn
+// is called once with closed=true when the peer side closes. Packets
+// already buffered are flushed to fn immediately. fn runs in kernel
+// event context and must not block — the intended use is appending to an
+// unbounded queue shared by many connections, so one goroutine can
+// multiplex hundreds of peers without a reader goroutine each.
+func (c *Conn) SetSink(fn func(pk Packet, closed bool)) {
+	c.sink = fn
+	for {
+		pk, ok := c.inbox.TryRecv()
+		if !ok {
+			break
+		}
+		fn(pk, false)
+	}
+	if c.inbox.Closed() && !c.sinkEOF {
+		c.sinkEOF = true
+		fn(Packet{}, true)
+	}
+}
+
+// onData reorders an arriving data message into the inbox.
+func (c *Conn) onData(seq uint64, pk Packet) {
+	if seq < c.recvNext {
+		return // duplicate
+	}
+	if c.pending == nil {
+		c.pending = make(map[uint64]Packet)
+	}
+	c.pending[seq] = pk
+	c.flushInOrder()
+}
+
+// abort tears the receive side down immediately (RST).
+func (c *Conn) abort() {
+	c.inbox.Close()
+	if c.sink != nil && !c.sinkEOF {
+		c.sinkEOF = true
+		c.sink(Packet{}, true)
+	}
+}
+
+// onFin records the end-of-stream sequence and closes once reached.
+func (c *Conn) onFin(seq uint64) {
+	c.finSeen = true
+	c.finSeq = seq
+	c.remoteDone = true
+	c.flushInOrder()
+}
+
+func (c *Conn) flushInOrder() {
+	for {
+		pk, ok := c.pending[c.recvNext]
+		if !ok {
+			break
+		}
+		delete(c.pending, c.recvNext)
+		c.recvNext++
+		if c.sink != nil {
+			c.sink(pk, false)
+		} else {
+			c.inbox.TrySend(pk)
+		}
+	}
+	if c.finSeen && c.recvNext >= c.finSeq {
+		c.inbox.Close()
+		if c.sink != nil && !c.sinkEOF {
+			c.sinkEOF = true
+			c.sink(Packet{}, true)
+		}
+	}
+}
+
+// LocalAddr returns the local endpoint.
+func (c *Conn) LocalAddr() ip.Endpoint { return c.local }
+
+// RemoteAddr returns the remote endpoint.
+func (c *Conn) RemoteAddr() ip.Endpoint { return c.remote }
+
+// Send transmits one message of real bytes. The data is copied, so the
+// caller may reuse the buffer.
+func (c *Conn) Send(p *sim.Proc, data []byte) error {
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	return c.send(p, message{payload: buf, size: len(buf)})
+}
+
+// SendMeta transmits a sparse message: size bytes on the wire carrying a
+// protocol object instead of real bytes.
+func (c *Conn) SendMeta(p *sim.Proc, size int, meta any) error {
+	return c.send(p, message{meta: meta, size: size})
+}
+
+func (c *Conn) send(p *sim.Proc, m message) error {
+	if c.closed {
+		return ErrClosed
+	}
+	if !c.established {
+		return ErrClosed
+	}
+	c.h.syscall(p, SyscallSend)
+	m.kind = kindData
+	m.src = c.local
+	m.dst = c.remote
+	m.connID = c.id
+	m.seq = c.sendSeq
+	c.sendSeq++
+	if !c.h.net.transmit(c.h, m, true) {
+		return ErrNetUnreachable
+	}
+	return nil
+}
+
+// Recv blocks until a message arrives. It returns ErrClosed after the
+// peer closes and the inbox drains.
+func (c *Conn) Recv(p *sim.Proc) (Packet, error) {
+	c.h.syscall(p, SyscallRecv)
+	pk, err := c.inbox.Recv(p)
+	if errors.Is(err, sim.ErrClosed) {
+		return pk, ErrClosed
+	}
+	return pk, err
+}
+
+// RecvTimeout is Recv with a virtual-time deadline; ok=false with nil
+// error means the deadline expired.
+func (c *Conn) RecvTimeout(p *sim.Proc, d sim.Duration) (Packet, bool, error) {
+	c.h.syscall(p, SyscallRecv)
+	pk, ok, err := c.inbox.RecvTimeout(p, d)
+	if errors.Is(err, sim.ErrClosed) {
+		return pk, ok, ErrClosed
+	}
+	return pk, ok, err
+}
+
+// Close sends a FIN and closes the local side. Receiving continues to
+// drain buffered data on the peer. Close is idempotent.
+func (c *Conn) Close(p *sim.Proc) error {
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	c.h.syscall(p, SyscallClose)
+	if c.established {
+		c.h.net.transmit(c.h, message{
+			kind: kindFin, src: c.local, dst: c.remote, size: 20,
+			connID: c.id, seq: c.sendSeq,
+		}, true)
+	}
+	delete(c.h.conns, c.id)
+	return nil
+}
+
+// Closed reports whether the local side has been closed.
+func (c *Conn) Closed() bool { return c.closed }
+
+// Write implements a stream-style write: the whole buffer goes out as
+// one message. It satisfies the spirit of io.Writer but needs the
+// calling process, so it does not implement the stdlib interface.
+func (c *Conn) Write(p *sim.Proc, data []byte) (int, error) {
+	if err := c.Send(p, data); err != nil {
+		return 0, err
+	}
+	return len(data), nil
+}
+
+// Read implements a stream-style read over the message inbox: message
+// boundaries are not preserved, leftovers are buffered. It returns
+// io.EOF after the peer closes and all data drains.
+func (c *Conn) Read(p *sim.Proc, buf []byte) (int, error) {
+	for len(c.readRest) == 0 {
+		pk, err := c.Recv(p)
+		if errors.Is(err, ErrClosed) {
+			return 0, io.EOF
+		}
+		if err != nil {
+			return 0, err
+		}
+		if pk.Data == nil && pk.Size > 0 {
+			// Sparse payloads surface as zero bytes of that length.
+			c.readRest = make([]byte, pk.Size)
+		} else {
+			c.readRest = pk.Data
+		}
+	}
+	n := copy(buf, c.readRest)
+	c.readRest = c.readRest[n:]
+	return n, nil
+}
+
+// Listener accepts inbound connections on a host port.
+type Listener struct {
+	h       *Host
+	port    ip.Port
+	backlog *sim.Chan[*Conn]
+	closed  bool
+}
+
+// Addr returns the listening endpoint.
+func (l *Listener) Addr() ip.Endpoint { return ip.Endpoint{Addr: l.h.addr, Port: l.port} }
+
+// Accept blocks until a connection arrives; it returns ErrClosed after
+// Close.
+func (l *Listener) Accept(p *sim.Proc) (*Conn, error) {
+	l.h.syscall(p, SyscallAccept)
+	c, err := l.backlog.Recv(p)
+	if errors.Is(err, sim.ErrClosed) {
+		return nil, ErrClosed
+	}
+	return c, err
+}
+
+// AcceptTimeout is Accept with a deadline; ok=false means it expired.
+func (l *Listener) AcceptTimeout(p *sim.Proc, d sim.Duration) (*Conn, bool, error) {
+	l.h.syscall(p, SyscallAccept)
+	c, ok, err := l.backlog.RecvTimeout(p, d)
+	if errors.Is(err, sim.ErrClosed) {
+		return nil, ok, ErrClosed
+	}
+	return c, ok, err
+}
+
+// Close stops accepting. Pending backlog connections are refused.
+func (l *Listener) Close() {
+	if l.closed {
+		return
+	}
+	l.closed = true
+	delete(l.h.ports, l.port)
+	l.backlog.Close()
+}

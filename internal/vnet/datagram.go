@@ -1,0 +1,88 @@
+package vnet
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/ip"
+	"repro/internal/sim"
+)
+
+// PacketConn is a UDP-like unreliable, unordered (within the limits of
+// the FIFO pipe model) datagram socket bound to a host port.
+type PacketConn struct {
+	h      *Host
+	port   ip.Port
+	inbox  *sim.Chan[Packet]
+	closed bool
+}
+
+// ListenPacket binds a datagram socket to port (0 allocates an ephemeral
+// port), performing the emulated socket()/bind() sequence.
+func (h *Host) ListenPacket(p *sim.Proc, port ip.Port) (*PacketConn, error) {
+	h.syscall(p, SyscallSocket)
+	h.interceptBind(p)
+	h.syscall(p, SyscallBind)
+	if port == 0 {
+		port = h.allocPort()
+	} else if _, used := h.ports[port]; used {
+		return nil, fmt.Errorf("listen-packet %v:%d: %w", h.addr, port, ErrPortAlreadyBound)
+	}
+	pc := &PacketConn{
+		h:     h,
+		port:  port,
+		inbox: sim.NewChan[Packet](h.net.k, 1024),
+	}
+	h.ports[port] = &portEntry{packet: pc}
+	return pc, nil
+}
+
+// LocalAddr returns the bound endpoint.
+func (pc *PacketConn) LocalAddr() ip.Endpoint { return ip.Endpoint{Addr: pc.h.addr, Port: pc.port} }
+
+// SendTo transmits one unreliable datagram to dst. Loss on any pipe
+// silently drops it, like UDP.
+func (pc *PacketConn) SendTo(p *sim.Proc, dst ip.Endpoint, data []byte) error {
+	if pc.closed {
+		return ErrClosed
+	}
+	pc.h.syscall(p, SyscallSend)
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	pc.h.net.transmit(pc.h, message{
+		kind: kindDatagram,
+		src:  pc.LocalAddr(), dst: dst,
+		payload: buf, size: len(buf),
+	}, false)
+	return nil
+}
+
+// RecvFrom blocks for the next datagram.
+func (pc *PacketConn) RecvFrom(p *sim.Proc) (Packet, error) {
+	pc.h.syscall(p, SyscallRecv)
+	pk, err := pc.inbox.Recv(p)
+	if errors.Is(err, sim.ErrClosed) {
+		return pk, ErrClosed
+	}
+	return pk, err
+}
+
+// RecvFromTimeout is RecvFrom with a deadline; ok=false means expired.
+func (pc *PacketConn) RecvFromTimeout(p *sim.Proc, d sim.Duration) (Packet, bool, error) {
+	pc.h.syscall(p, SyscallRecv)
+	pk, ok, err := pc.inbox.RecvTimeout(p, d)
+	if errors.Is(err, sim.ErrClosed) {
+		return pk, ok, ErrClosed
+	}
+	return pk, ok, err
+}
+
+// Close releases the port.
+func (pc *PacketConn) Close() {
+	if pc.closed {
+		return
+	}
+	pc.closed = true
+	delete(pc.h.ports, pc.port)
+	pc.inbox.Close()
+}

@@ -1,0 +1,314 @@
+// Package vnet provides virtual sockets over the emulated network: hosts
+// with their own IP addresses (P2PLab's interface aliases), TCP-like
+// connections, datagrams and ping, all scheduled on the virtual-time
+// kernel and shaped by netem pipes.
+//
+// The layering mirrors P2PLab: a Host is a virtual node whose network
+// identity is one alias address; its access link is a pair of pipes
+// (up/down); a pluggable Fabric (the physical cluster model in
+// internal/virt) inserts extra pipes, latency and firewall-rule cost on
+// each path.
+package vnet
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/ip"
+	"repro/internal/netem"
+	"repro/internal/sim"
+	"repro/internal/topo"
+	"repro/internal/trace"
+)
+
+// Errors returned by socket operations.
+var (
+	ErrAddrInUse         = errors.New("vnet: address already in use")
+	ErrConnRefused       = errors.New("vnet: connection refused")
+	ErrTimeout           = errors.New("vnet: operation timed out")
+	ErrClosed            = errors.New("vnet: connection closed")
+	ErrNetUnreachable    = errors.New("vnet: network unreachable")
+	ErrHostExists        = errors.New("vnet: host address already registered")
+	ErrAdminDenied       = errors.New("vnet: administratively denied")
+	ErrListenerBacklog   = errors.New("vnet: listener backlog full")
+	ErrMessageTooLarge   = errors.New("vnet: message exceeds maximum size")
+	ErrBindInterception  = errors.New("vnet: bind overridden by BINDIP interception")
+	ErrPortAlreadyBound  = errors.New("vnet: port already bound")
+	ErrUnknownListener   = errors.New("vnet: no listener on destination")
+	ErrDialSelfUnhosted  = errors.New("vnet: destination host not registered")
+	ErrTooManyRetransmit = errors.New("vnet: too many retransmissions")
+)
+
+// Route describes what a message traverses between the source host's
+// up-pipe and the destination host's down-pipe.
+type Route struct {
+	// Pipes are traversed in order (physical NIC pipes, extra shaping).
+	Pipes []*netem.Pipe
+	// Latency is fixed additional one-way latency (inter-group latency).
+	Latency time.Duration
+	// Cost is CPU time charged to the sender before transmission
+	// (firewall rule evaluation).
+	Cost time.Duration
+	// Drop administratively denies the path (firewall deny rule).
+	Drop bool
+}
+
+// Fabric computes the route between two virtual node addresses. The
+// zero fabric (nil) yields empty routes: only access links apply.
+type Fabric interface {
+	Route(src, dst ip.Addr, size int) Route
+}
+
+// TopoFabric is the simplest fabric: inter-group latency from a
+// topology, no extra pipes. It models the paper's emulation model
+// without the physical-cluster folding layer.
+type TopoFabric struct {
+	Topo *topo.Topology
+}
+
+// Route implements Fabric.
+func (f *TopoFabric) Route(src, dst ip.Addr, _ int) Route {
+	return Route{Latency: f.Topo.GroupLatency(src, dst)}
+}
+
+// Config tunes network-wide constants.
+type Config struct {
+	// SyscallCosts is the per-call virtual CPU cost table.
+	SyscallCosts SyscallCosts
+	// HandshakeTimeout bounds Dial.
+	HandshakeTimeout time.Duration
+	// RTO is the retransmission timeout for reliable (conn) messages
+	// dropped by lossy pipes.
+	RTO time.Duration
+	// MaxRetransmits bounds retransmission attempts per message.
+	MaxRetransmits int
+	// HeaderBytes is the per-message wire overhead added to payload
+	// sizes (TCP/IP header equivalent).
+	HeaderBytes int
+}
+
+// DefaultConfig returns the standard configuration.
+func DefaultConfig() Config {
+	return Config{
+		SyscallCosts:     DefaultSyscallCosts(),
+		HandshakeTimeout: 30 * time.Second,
+		RTO:              200 * time.Millisecond,
+		MaxRetransmits:   8,
+		HeaderBytes:      40,
+	}
+}
+
+// Network is the virtual internet: a registry of hosts plus the fabric
+// connecting them.
+type Network struct {
+	k      *sim.Kernel
+	fabric Fabric
+	cfg    Config
+	hosts  map[ip.Addr]*Host
+	order  []*Host // deterministic iteration
+	nextID uint64  // connection ids
+
+	stats  NetworkStats
+	tracer *trace.Log
+}
+
+// SetTrace attaches an event log: every transmitted and delivered
+// message is recorded ("net.send", "net.deliver", "net.drop"). Tracing
+// large swarms is expensive; prefer a bounded log.
+func (n *Network) SetTrace(l *trace.Log) { n.tracer = l }
+
+// NetworkStats aggregates network-wide counters.
+type NetworkStats struct {
+	MessagesSent      uint64
+	MessagesDelivered uint64
+	MessagesDropped   uint64
+	Retransmits       uint64
+	BytesDelivered    uint64
+}
+
+// NewNetwork creates a network on kernel k. fabric may be nil.
+func NewNetwork(k *sim.Kernel, fabric Fabric, cfg Config) *Network {
+	return &Network{
+		k:      k,
+		fabric: fabric,
+		cfg:    cfg,
+		hosts:  make(map[ip.Addr]*Host),
+	}
+}
+
+// Kernel returns the kernel the network runs on.
+func (n *Network) Kernel() *sim.Kernel { return n.k }
+
+// Config returns the network configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// Stats returns a snapshot of network counters.
+func (n *Network) Stats() NetworkStats { return n.stats }
+
+// AddHost registers a virtual node with the given address and access
+// link. Pass zero-valued PipeConfigs for an unconstrained host (e.g. a
+// tracker on a LAN).
+func (n *Network) AddHost(addr ip.Addr, up, down netem.PipeConfig) (*Host, error) {
+	if _, dup := n.hosts[addr]; dup {
+		return nil, fmt.Errorf("%w: %v", ErrHostExists, addr)
+	}
+	h := &Host{
+		net:      n,
+		addr:     addr,
+		up:       netem.NewPipe(n.k, addr.String()+"/up", up),
+		down:     netem.NewPipe(n.k, addr.String()+"/down", down),
+		ports:    make(map[ip.Port]*portEntry),
+		nextPort: 49152,
+		meter:    SyscallMeter{Costs: n.cfg.SyscallCosts},
+	}
+	n.hosts[addr] = h
+	n.order = append(n.order, h)
+	return h, nil
+}
+
+// AddHostClass registers a host whose access link follows a topology
+// link class.
+func (n *Network) AddHostClass(addr ip.Addr, class topo.LinkClass) (*Host, error) {
+	up := netem.PipeConfig{Bandwidth: class.Up, Delay: class.Latency, Loss: class.Loss}
+	down := netem.PipeConfig{Bandwidth: class.Down, Delay: class.Latency, Loss: class.Loss}
+	return n.AddHost(addr, up, down)
+}
+
+// Host returns the host registered at addr, or nil.
+func (n *Network) Host(addr ip.Addr) *Host { return n.hosts[addr] }
+
+// Hosts returns all hosts in registration order. The slice is shared;
+// do not mutate.
+func (n *Network) Hosts() []*Host { return n.order }
+
+// PopulateTopology creates one host per node of every leaf group,
+// addressed sequentially inside the group prefix starting at offset 1.
+// It returns the hosts in creation order.
+func (n *Network) PopulateTopology(t *topo.Topology) ([]*Host, error) {
+	var hosts []*Host
+	for _, g := range t.LeafGroups() {
+		for i := 0; i < g.Nodes; i++ {
+			h, err := n.AddHostClass(g.Prefix.Nth(uint32(i+1)), g.Class)
+			if err != nil {
+				return nil, err
+			}
+			hosts = append(hosts, h)
+		}
+	}
+	return hosts, nil
+}
+
+// msgKind discriminates wire messages.
+type msgKind int
+
+const (
+	kindSyn msgKind = iota
+	kindSynAck
+	kindRst
+	kindData
+	kindFin
+	kindDatagram
+	kindEchoReq
+	kindEchoRep
+)
+
+// message is one unit of transmission through the emulated network.
+type message struct {
+	kind     msgKind
+	src, dst ip.Endpoint
+	size     int // payload bytes, excluding header overhead
+	payload  []byte
+	meta     any    // protocol object for sparse payloads
+	connID   uint64 // connection demultiplexing
+	seq      uint64 // per-connection data sequence number
+	echoID   uint64
+}
+
+func (m *message) wireSize(cfg *Config) int { return m.size + cfg.HeaderBytes }
+
+// transmit schedules a message from src through every pipe on the path
+// and delivers it at the destination host. reliable messages are
+// retransmitted on loss up to MaxRetransmits. It returns false if the
+// path is administratively denied or the destination is unknown.
+func (n *Network) transmit(src *Host, m message, reliable bool) bool {
+	dst := n.hosts[m.dst.Addr]
+	if dst == nil {
+		n.stats.MessagesDropped++
+		return false
+	}
+	var route Route
+	if n.fabric != nil {
+		route = n.fabric.Route(m.src.Addr, m.dst.Addr, m.wireSize(&n.cfg))
+	}
+	if route.Drop {
+		n.stats.MessagesDropped++
+		return false
+	}
+	n.stats.MessagesSent++
+	if n.tracer != nil {
+		n.tracer.Add(n.k.Now(), "net.send", m.src.Addr.String(),
+			"%d B to %v (kind %d)", m.wireSize(&n.cfg), m.dst, m.kind)
+	}
+	n.attempt(src, dst, m, route, 0, n.k.Now().Add(route.Cost), reliable)
+	return true
+}
+
+// attempt runs one transmission attempt starting at instant start.
+//
+// Pipes are charged hop by hop, each at the message's true arrival
+// instant (via an event), never earlier. This matters for pipes shared
+// across flows (the physical node's NIC in the folded deployments):
+// charging the whole path eagerly at send time would update shared
+// cursors in *send* order rather than *arrival* order, and the ~seconds
+// of queueing jitter on access links ahead of them would turn into
+// spurious queueing delay for later-arriving messages.
+func (n *Network) attempt(src, dst *Host, m message, route Route, tries int, start sim.Time, reliable bool) {
+	size := m.wireSize(&n.cfg)
+	pipes := make([]*netem.Pipe, 0, 2+len(route.Pipes))
+	pipes = append(pipes, src.up)
+	pipes = append(pipes, route.Pipes...)
+	pipes = append(pipes, dst.down)
+
+	fail := func() {
+		if reliable && tries < n.cfg.MaxRetransmits {
+			n.stats.Retransmits++
+			retryAt := start.Add(n.cfg.RTO * (1 << uint(tries)))
+			n.k.At(retryAt, func() {
+				n.attempt(src, dst, m, route, tries+1, n.k.Now(), reliable)
+			})
+			return
+		}
+		n.stats.MessagesDropped++
+	}
+
+	var hop func(i int, at sim.Time)
+	hop = func(i int, at sim.Time) {
+		if i == len(pipes) {
+			n.k.At(at.Add(route.Latency), func() {
+				n.stats.MessagesDelivered++
+				n.stats.BytesDelivered += uint64(size)
+				if n.tracer != nil {
+					n.tracer.Add(n.k.Now(), "net.deliver", m.dst.Addr.String(),
+						"%d B from %v", size, m.src)
+				}
+				dst.deliver(m)
+			})
+			return
+		}
+		exit, ok := pipes[i].ScheduleAt(at, size, n.k.Rand())
+		if !ok {
+			fail()
+			return
+		}
+		if exit == at {
+			hop(i+1, exit) // unconstrained pipe: continue inline
+			return
+		}
+		n.k.At(exit, func() { hop(i+1, exit) })
+	}
+	// The first hop is the sender's own up-link: its messages are
+	// charged in send order by construction, so charging it inline at
+	// start (≤ µs ahead of now, the firewall-cost offset) is exact.
+	hop(0, start)
+}
