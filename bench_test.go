@@ -313,6 +313,65 @@ func BenchmarkKernelModes(b *testing.B) {
 	})
 }
 
+// BenchmarkKernelQueues compares the kernel's two event-queue
+// implementations under sustained depth: N outstanding timers, each
+// rescheduling itself at a random offset. Queue depth is where the
+// calendar queue's O(1) push/pop beats the heap's O(log n).
+func BenchmarkKernelQueues(b *testing.B) {
+	kinds := []struct {
+		name string
+		kind sim.QueueKind
+	}{
+		{"heap", sim.QueueHeap},
+		{"calendar", sim.QueueCalendar},
+	}
+	for _, q := range kinds {
+		for _, depth := range []int{1024, 32768} {
+			b.Run(fmt.Sprintf("%s/depth=%d", q.name, depth), func(b *testing.B) {
+				k := sim.NewWithQueue(1, q.kind)
+				rng := rand.New(rand.NewSource(1))
+				fired := 0
+				for i := 0; i < depth; i++ {
+					var fn func()
+					fn = func() {
+						fired++
+						if fired+depth <= b.N {
+							k.After(time.Duration(1+rng.Intn(1000))*time.Microsecond, fn)
+						}
+					}
+					k.After(time.Duration(1+rng.Intn(1000))*time.Microsecond, fn)
+				}
+				if err := k.Run(); err != nil {
+					b.Fatal(err)
+				}
+				if fired < b.N && fired != depth {
+					b.Fatalf("fired %d events, want >= %d", fired, b.N)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkSweep runs a 4-cell scheduler sweep through the worker
+// pool; on a multi-core runner the parallel variant should approach
+// the wall time of its slowest cell.
+func BenchmarkSweep(b *testing.B) {
+	grid := exp.Grid{Experiment: exp.ExpSched, Peers: []int{100, 200, 300, 400}}
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := exp.RunSweep(grid, workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Failed != 0 {
+					b.Fatal(res.Errs())
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkPipeGranularity compares message-level pipe charging
 // (DESIGN.md decision 2) against packet-chunked charging (1500-byte
 // MTU) for a 16 KiB block.

@@ -1,0 +1,159 @@
+// Command benchjson converts `go test -bench` output into a stable
+// JSON document, and diffs two such documents. It backs the
+// benchmark-regression harness: scripts/bench_baseline.sh records
+// BENCH_baseline.json, and future changes diff against it with
+//
+//	go test -run=NONE -bench ... -benchmem . | go run ./cmd/benchjson > new.json
+//	go run ./cmd/benchjson -diff BENCH_baseline.json new.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one recorded benchmark result.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"` // "ns/op", "B/op", "allocs/op", custom units
+}
+
+// Document is the recorded trajectory of one bench run.
+type Document struct {
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	diff := flag.Bool("diff", false, "compare two recorded documents (old new) instead of converting stdin")
+	tolerance := flag.Float64("tolerance", 0.25, "with -diff: fail if ns/op regresses by more than this fraction")
+	flag.Parse()
+	if *diff {
+		if flag.NArg() != 2 {
+			fatal(fmt.Errorf("-diff needs exactly two files, got %d", flag.NArg()))
+		}
+		if err := runDiff(flag.Arg(0), flag.Arg(1), *tolerance); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	doc, err := parse(os.Stdin)
+	if err != nil {
+		fatal(err)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}
+
+// parse extracts benchmark lines of the form
+//
+//	BenchmarkName/sub-8   123456   71.2 ns/op   24 B/op   1 allocs/op
+func parse(f *os.File) (*Document, error) {
+	doc := &Document{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := Benchmark{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			b.Metrics[fields[i+1]] = v
+		}
+		if len(b.Metrics) > 0 {
+			doc.Benchmarks = append(doc.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(doc.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark lines found on stdin")
+	}
+	sort.Slice(doc.Benchmarks, func(i, j int) bool { return doc.Benchmarks[i].Name < doc.Benchmarks[j].Name })
+	return doc, nil
+}
+
+func load(path string) (map[string]Benchmark, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc Document
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]Benchmark, len(doc.Benchmarks))
+	for _, b := range doc.Benchmarks {
+		out[b.Name] = b
+	}
+	return out, nil
+}
+
+// runDiff prints old vs new per shared benchmark and exits nonzero if
+// any ns/op regression exceeds the tolerance.
+func runDiff(oldPath, newPath string, tolerance float64) error {
+	oldB, err := load(oldPath)
+	if err != nil {
+		return err
+	}
+	newB, err := load(newPath)
+	if err != nil {
+		return err
+	}
+	names := make([]string, 0, len(oldB))
+	for name := range oldB {
+		if _, ok := newB[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return fmt.Errorf("no shared benchmarks between %s and %s", oldPath, newPath)
+	}
+	regressed := 0
+	fmt.Printf("%-55s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	for _, name := range names {
+		o, n := oldB[name].Metrics["ns/op"], newB[name].Metrics["ns/op"]
+		if o == 0 {
+			continue
+		}
+		delta := (n - o) / o
+		flag := ""
+		if delta > tolerance {
+			flag = "  REGRESSED"
+			regressed++
+		}
+		fmt.Printf("%-55s %14.1f %14.1f %+7.1f%%%s\n", name, o, n, 100*delta, flag)
+	}
+	if regressed > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed beyond %.0f%%", regressed, 100*tolerance)
+	}
+	return nil
+}

@@ -1,11 +1,14 @@
 // Command p2plab regenerates any table or figure of the paper and
-// writes gnuplot-compatible .dat files plus a text summary.
+// writes gnuplot-compatible .dat files plus a text summary, and runs
+// parameter-grid sweeps across the experiment families.
 //
 // Usage:
 //
 //	p2plab -fig 8 -out results/
 //	p2plab -fig 9 -scale 10          # scaled-down folding sweep
 //	p2plab -fig all -out results/
+//	p2plab sweep -exp dht -peers 8,16,32 -class lan,dsl -seeds 1,2,3
+//	p2plab sweep -exp swarm -peers 8,16 -churn 0,0.3 -workers 4 -out results/
 //
 // Figure ids: 1, 2, 3, bind, 6, 6x (indexed ablation), 7, 8, 9, 10, 11.
 package main
@@ -23,6 +26,12 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "sweep" {
+		if err := sweepMain(os.Args[2:]); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	fig := flag.String("fig", "all", "figure to regenerate (1,2,3,bind,6,6x,7,8,9,10,11,all)")
 	out := flag.String("out", "results", "output directory for .dat and .txt files")
 	scale := flag.Int("scale", 1, "divide swarm experiment size by this factor")

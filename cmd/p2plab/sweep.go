@@ -1,0 +1,155 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/exp"
+	"repro/internal/metrics"
+	"repro/internal/topo"
+)
+
+// sweepMain implements the `p2plab sweep` subcommand: expand a
+// parameter grid, run every cell on a bounded worker pool, print the
+// merged aggregate table and write per-cell results as CSV.
+func sweepMain(args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	expName := fs.String("exp", "swarm", "experiment family (swarm, churn, dht, gossip, sched)")
+	peers := fs.String("peers", "", "comma-separated population sizes (default: experiment-specific)")
+	churn := fs.String("churn", "", "comma-separated churn fractions in [0,1)")
+	classes := fs.String("class", "", "comma-separated link classes (dsl, modem, slow-dsl, fast-dsl, campus, office, lan)")
+	seeds := fs.String("seeds", "", "comma-separated random seeds")
+	workers := fs.Int("workers", 0, "worker pool size (default: one per CPU)")
+	fileSize := fs.Int("file-size", 0, "swarm file size in bytes (default 2 MiB)")
+	lookups := fs.Int("lookups", 0, "DHT lookups per cell (default 100)")
+	fanout := fs.Int("fanout", 0, "gossip fanout (default 3)")
+	horizon := fs.Duration("horizon", 0, "virtual-time cap per cell (default 6h)")
+	out := fs.String("out", "results", "output directory for sweep.csv")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	g := exp.Grid{
+		Experiment: exp.Experiment(*expName),
+		FileSize:   *fileSize,
+		Lookups:    *lookups,
+		Fanout:     *fanout,
+		Horizon:    *horizon,
+	}
+	var err error
+	if g.Peers, err = parseInts(*peers); err != nil {
+		return fmt.Errorf("-peers: %w", err)
+	}
+	if g.Churn, err = parseFloats(*churn); err != nil {
+		return fmt.Errorf("-churn: %w", err)
+	}
+	if g.Seeds, err = parseInt64s(*seeds); err != nil {
+		return fmt.Errorf("-seeds: %w", err)
+	}
+	if g.Classes, err = parseClasses(*classes); err != nil {
+		return fmt.Errorf("-class: %w", err)
+	}
+
+	cells, err := g.Cells()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("== sweep: %d cell(s) of %s ==\n", len(cells), *expName)
+	res, err := exp.RunSweep(g, *workers)
+	if err != nil {
+		return err
+	}
+	for _, c := range res.Cells {
+		status := "ok"
+		if c.Err != nil {
+			status = "FAILED: " + c.Err.Error()
+		}
+		fmt.Printf("   %-48s %8v  %s\n", c.Cell, c.Wall.Round(time.Millisecond), status)
+	}
+	fmt.Printf("   %d/%d cells ok in %v (pool: %d workers)\n\n",
+		len(res.Cells)-res.Failed, len(res.Cells), res.Wall.Round(time.Millisecond), res.Workers)
+
+	if err := res.Merged.Table().Render(os.Stdout); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return err
+	}
+	csvPath := filepath.Join(*out, "sweep.csv")
+	f, err := os.Create(csvPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := metrics.WriteSnapshotsCSV(f, res.Snapshots()); err != nil {
+		return err
+	}
+	fmt.Printf("\nwrote %s (%d rows)\n", csvPath, len(res.Cells)-res.Failed)
+	if res.Failed > 0 {
+		return fmt.Errorf("%d cell(s) failed", res.Failed)
+	}
+	return nil
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, f := range splitList(s) {
+		v, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseInt64s(s string) ([]int64, error) {
+	var out []int64
+	for _, f := range splitList(s) {
+		v, err := strconv.ParseInt(f, 10, 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, f := range splitList(s) {
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseClasses(s string) ([]topo.LinkClass, error) {
+	var out []topo.LinkClass
+	for _, f := range splitList(s) {
+		c, ok := topo.ClassByName(f)
+		if !ok {
+			return nil, fmt.Errorf("unknown link class %q", f)
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}

@@ -29,9 +29,10 @@ type DHTPoint struct {
 	Timeouts   uint64
 }
 
-// dhtRing builds an n-node ring on the given link class, warms it up,
-// performs lookups and reports the aggregate.
-func dhtRing(n, lookups int, class topo.LinkClass, seed int64) (DHTPoint, error) {
+// DHTRing builds an n-node ring on the given link class, warms it up,
+// performs lookups and reports the aggregate. It is the cell runner
+// behind DHTScaling, DHTLocality and the sweep engine's dht adapter.
+func DHTRing(n, lookups int, class topo.LinkClass, seed int64) (DHTPoint, error) {
 	k := sim.New(seed)
 	net := vnet.NewNetwork(k, nil, vnet.DefaultConfig())
 	var nodes []*chord.Node
@@ -98,7 +99,7 @@ func DHTScaling(sizes []int, lookups int, seed int64) ([]DHTPoint, error) {
 	lan := topo.LinkClass{Name: "lan", Down: netem.Gbps, Up: netem.Gbps, Latency: time.Millisecond}
 	var out []DHTPoint
 	for _, n := range sizes {
-		pt, err := dhtRing(n, lookups, lan, seed)
+		pt, err := DHTRing(n, lookups, lan, seed)
 		if err != nil {
 			return nil, err
 		}
@@ -129,7 +130,7 @@ func DHTLocality(seed int64) (map[string]DHTPoint, error) {
 	}
 	out := make(map[string]DHTPoint, len(classes))
 	for _, class := range classes {
-		pt, err := dhtRing(32, 200, class, seed)
+		pt, err := DHTRing(32, 200, class, seed)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,486 @@
+package exp
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/sched"
+	"repro/internal/topo"
+)
+
+// The sweep engine turns every experiment in this package into a
+// grid-runnable scenario: a Grid is the cross product of parameter
+// axes (population × churn rate × access-link class × seed), each cell
+// runs as an independent deterministic sim.Kernel on its own OS thread
+// via a bounded worker pool, and per-cell metrics.Snapshot results
+// merge into an aggregate table and CSV. Determinism is per-kernel
+// (see repro/internal/sim), so parallelism across cells cannot perturb
+// any cell's result: the merged output is identical for any worker
+// count.
+
+// Experiment names a sweepable scenario family.
+type Experiment string
+
+const (
+	// ExpSwarm is the BitTorrent swarm download (Figs 8-11). Cells with
+	// a nonzero churn rate run the churn variant (extension E3).
+	ExpSwarm Experiment = "swarm"
+	// ExpChurn is the churned swarm with a default churn rate of 0.5;
+	// otherwise identical to ExpSwarm.
+	ExpChurn Experiment = "churn"
+	// ExpDHT is the Chord lookup experiment (extensions E1/E2).
+	ExpDHT Experiment = "dht"
+	// ExpGossip is the epidemic dissemination experiment (E6).
+	ExpGossip Experiment = "gossip"
+	// ExpSched is the scheduler-suitability workload (Figs 1-3); it
+	// uses only the population and seed axes.
+	ExpSched Experiment = "sched"
+)
+
+// Experiments lists the sweepable experiment families.
+var Experiments = []Experiment{ExpSwarm, ExpChurn, ExpDHT, ExpGossip, ExpSched}
+
+// Grid is a parameter grid. Cells() expands the cross product of the
+// axes; nil axes get a single experiment-appropriate default, so a
+// zero-ish Grid is one cell. Axis values must be distinct: the
+// expansion is guaranteed exhaustive and duplicate-free.
+type Grid struct {
+	Experiment Experiment
+	Peers      []int            // population sizes (clients / ring size / processes)
+	Churn      []float64        // churn fractions in [0,1); swarm-family only
+	Classes    []topo.LinkClass // access-link classes
+	Seeds      []int64
+
+	// Knobs held constant across the grid.
+	FileSize int           // bytes per swarm download (default 2 MiB)
+	Lookups  int           // DHT lookups per cell (default 100)
+	Fanout   int           // gossip fanout (default 3)
+	Horizon  time.Duration // virtual-time cap per cell (default 6 h)
+}
+
+// Cell is one point of the grid.
+type Cell struct {
+	Index      int // position in grid order
+	Experiment Experiment
+	Peers      int
+	Churn      float64
+	Class      topo.LinkClass
+	Seed       int64
+
+	fileSize int
+	lookups  int
+	fanout   int
+	horizon  time.Duration
+}
+
+// String identifies the cell in logs and errors.
+func (c Cell) String() string {
+	return fmt.Sprintf("%s[peers=%d churn=%g class=%s seed=%d]",
+		c.Experiment, c.Peers, c.Churn, c.Class.Name, c.Seed)
+}
+
+// usesChurnAxis reports whether the experiment reads the churn axis.
+func (e Experiment) usesChurnAxis() bool { return e == ExpSwarm || e == ExpChurn }
+
+// usesClassAxis reports whether the experiment reads the class axis.
+func (e Experiment) usesClassAxis() bool { return e != ExpSched }
+
+// Cells expands the grid into its cells, in row-major grid order
+// (peers, then churn, then class, then seed). It rejects repeated axis
+// values and multi-valued axes the experiment ignores — both would
+// produce duplicate cells, and a sweep must be exhaustive and
+// duplicate-free.
+func (g Grid) Cells() ([]Cell, error) {
+	exp := g.Experiment
+	if exp == "" {
+		exp = ExpSwarm
+	}
+	known := false
+	for _, e := range Experiments {
+		if e == exp {
+			known = true
+		}
+	}
+	if !known {
+		return nil, fmt.Errorf("exp: unknown experiment %q", exp)
+	}
+
+	peers := g.Peers
+	if len(peers) == 0 {
+		peers = []int{defaultPeers(exp)}
+	}
+	churns := g.Churn
+	if len(churns) == 0 {
+		if exp == ExpChurn {
+			churns = []float64{0.5}
+		} else {
+			churns = []float64{0}
+		}
+	}
+	classes := g.Classes
+	if len(classes) == 0 {
+		classes = []topo.LinkClass{topo.DSL}
+	}
+	seeds := g.Seeds
+	if len(seeds) == 0 {
+		seeds = []int64{1}
+	}
+
+	if !exp.usesChurnAxis() && len(churns) > 1 {
+		return nil, fmt.Errorf("exp: %s ignores the churn axis; %d values would duplicate cells", exp, len(churns))
+	}
+	if !exp.usesClassAxis() && len(classes) > 1 {
+		return nil, fmt.Errorf("exp: %s ignores the class axis; %d values would duplicate cells", exp, len(classes))
+	}
+	if err := distinctInts("peers", peers); err != nil {
+		return nil, err
+	}
+	if err := distinctFloats("churn", churns); err != nil {
+		return nil, err
+	}
+	for _, ch := range churns {
+		if ch < 0 || ch >= 1 {
+			return nil, fmt.Errorf("exp: churn fraction %g outside [0,1)", ch)
+		}
+	}
+	seen := map[string]bool{}
+	for _, c := range classes {
+		if seen[c.Name] {
+			return nil, fmt.Errorf("exp: duplicate class axis value %q", c.Name)
+		}
+		seen[c.Name] = true
+	}
+	seenSeed := map[int64]bool{}
+	for _, s := range seeds {
+		if seenSeed[s] {
+			return nil, fmt.Errorf("exp: duplicate seed axis value %d", s)
+		}
+		seenSeed[s] = true
+	}
+
+	fileSize := g.FileSize
+	if fileSize <= 0 {
+		fileSize = 2 << 20
+	}
+	lookups := g.Lookups
+	if lookups <= 0 {
+		lookups = 100
+	}
+	fanout := g.Fanout
+	if fanout <= 0 {
+		fanout = 3
+	}
+	horizon := g.Horizon
+	if horizon <= 0 {
+		horizon = 6 * time.Hour
+	}
+
+	var cells []Cell
+	for _, p := range peers {
+		for _, ch := range churns {
+			for _, cl := range classes {
+				for _, s := range seeds {
+					cells = append(cells, Cell{
+						Index: len(cells), Experiment: exp,
+						Peers: p, Churn: ch, Class: cl, Seed: s,
+						fileSize: fileSize, lookups: lookups,
+						fanout: fanout, horizon: horizon,
+					})
+				}
+			}
+		}
+	}
+	return cells, nil
+}
+
+func defaultPeers(e Experiment) int {
+	switch e {
+	case ExpSched:
+		return 100
+	default:
+		return 16
+	}
+}
+
+func distinctInts(axis string, vs []int) error {
+	seen := map[int]bool{}
+	for _, v := range vs {
+		if seen[v] {
+			return fmt.Errorf("exp: duplicate %s axis value %d", axis, v)
+		}
+		seen[v] = true
+	}
+	return nil
+}
+
+func distinctFloats(axis string, vs []float64) error {
+	seen := map[float64]bool{}
+	for _, v := range vs {
+		if seen[v] {
+			return fmt.Errorf("exp: duplicate %s axis value %g", axis, v)
+		}
+		seen[v] = true
+	}
+	return nil
+}
+
+// CellResult is one cell's outcome. Exactly one of Snapshot and Err is
+// set: a failing cell carries its error here and never poisons
+// siblings.
+type CellResult struct {
+	Cell     Cell
+	Snapshot *metrics.Snapshot
+	Err      error
+	Wall     time.Duration
+}
+
+// SweepResult is a completed sweep.
+type SweepResult struct {
+	Cells   []CellResult // in grid order, one per cell
+	Merged  *metrics.Aggregate
+	Failed  int
+	Workers int // effective pool size after defaulting and clamping
+	Wall    time.Duration
+}
+
+// Snapshots returns per-cell snapshots in grid order (nil for failed
+// cells), ready for metrics.WriteSnapshotsCSV.
+func (r *SweepResult) Snapshots() []*metrics.Snapshot {
+	out := make([]*metrics.Snapshot, len(r.Cells))
+	for i, c := range r.Cells {
+		out[i] = c.Snapshot
+	}
+	return out
+}
+
+// Errs returns the failed cells' errors, in grid order.
+func (r *SweepResult) Errs() []error {
+	var out []error
+	for _, c := range r.Cells {
+		if c.Err != nil {
+			out = append(out, fmt.Errorf("%s: %w", c.Cell, c.Err))
+		}
+	}
+	return out
+}
+
+// RunSweep executes every cell of the grid on a bounded pool of
+// workers (default: one per CPU). Each worker locks an OS thread and
+// runs one kernel at a time; cells are deterministic in isolation, so
+// the merged result is byte-identical for any worker count. A failing
+// or panicking cell records its error and leaves every other cell
+// untouched.
+func RunSweep(g Grid, workers int) (*SweepResult, error) {
+	cells, err := g.Cells()
+	if err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	start := time.Now()
+	results := make([]CellResult, len(cells))
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// One kernel run loop per OS thread: cheap context switches
+			// between the loop and its simulated goroutines, and no
+			// scheduler migration mid-cell.
+			runtime.LockOSThread()
+			defer runtime.UnlockOSThread()
+			for i := range work {
+				results[i] = runCellGuarded(cells[i])
+			}
+		}()
+	}
+	for i := range cells {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+
+	res := &SweepResult{Cells: results, Merged: metrics.NewAggregate(), Workers: workers, Wall: time.Since(start)}
+	for _, c := range results { // grid order: worker-count independent
+		if c.Err != nil {
+			res.Failed++
+			continue
+		}
+		res.Merged.Add(c.Snapshot)
+	}
+	return res, nil
+}
+
+// runCellGuarded runs one cell, converting a panic into that cell's
+// error so one bad cell cannot take down the sweep.
+func runCellGuarded(c Cell) (res CellResult) {
+	start := time.Now()
+	res.Cell = c
+	defer func() {
+		res.Wall = time.Since(start)
+		if r := recover(); r != nil {
+			res.Snapshot = nil
+			res.Err = fmt.Errorf("cell panicked: %v", r)
+		}
+	}()
+	res.Snapshot, res.Err = RunCell(c)
+	return res
+}
+
+// RunCell executes one grid cell on a fresh kernel and returns its
+// snapshot.
+func RunCell(c Cell) (*metrics.Snapshot, error) {
+	if c.Peers < 2 && c.Experiment != ExpSched {
+		return nil, fmt.Errorf("population %d too small (need at least 2 peers)", c.Peers)
+	}
+	if c.Peers < 1 {
+		return nil, fmt.Errorf("population %d too small (need at least 1 process)", c.Peers)
+	}
+	snap := metrics.NewSnapshot()
+	snap.Label("experiment", string(c.Experiment))
+	snap.Label("peers", fmt.Sprintf("%d", c.Peers))
+	snap.Label("churn", fmt.Sprintf("%g", c.Churn))
+	snap.Label("class", c.Class.Name)
+	snap.Label("seed", fmt.Sprintf("%d", c.Seed))
+
+	var err error
+	switch c.Experiment {
+	case ExpSwarm, ExpChurn:
+		if c.Churn > 0 {
+			err = runChurnCell(c, snap)
+		} else {
+			err = runSwarmCell(c, snap)
+		}
+	case ExpDHT:
+		err = runDHTCell(c, snap)
+	case ExpGossip:
+		err = runGossipCell(c, snap)
+	case ExpSched:
+		err = runSchedCell(c, snap)
+	default:
+		err = fmt.Errorf("unknown experiment %q", c.Experiment)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return snap, nil
+}
+
+func runSwarmCell(c Cell, snap *metrics.Snapshot) error {
+	seeders := 2
+	if c.Peers >= 40 {
+		seeders = 4
+	}
+	out, err := RunSwarm(SwarmParams{
+		Clients:       c.Peers,
+		Seeders:       seeders,
+		FileSize:      int64(c.fileSize),
+		StartInterval: 2 * time.Second,
+		Class:         c.Class,
+		Seed:          c.Seed,
+		Horizon:       c.horizon,
+	})
+	if err != nil {
+		return err
+	}
+	done := 0
+	var last float64
+	for _, t := range out.Completions {
+		if t > 0 {
+			done++
+			if t.Seconds() > last {
+				last = t.Seconds()
+			}
+		}
+	}
+	snap.Set("clients-done", float64(done))
+	snap.Set("done-fraction", float64(done)/float64(len(out.Completions)))
+	snap.Set("last-completion-s", last)
+	snap.Set("ended-s", out.EndedAt.Seconds())
+	addKernelNetCounters(snap, out.Kernel.Events, out.Kernel.Switches, out.Kernel.Spawns,
+		out.Net.MessagesSent, out.Net.MessagesDelivered, out.Net.MessagesDropped,
+		out.Net.Retransmits, out.Net.BytesDelivered)
+	return nil
+}
+
+func runChurnCell(c Cell, snap *metrics.Snapshot) error {
+	out, err := RunChurnSwarm(ChurnSwarmParams{
+		Clients:       c.Peers,
+		Seeders:       2,
+		FileSize:      int64(c.fileSize),
+		Class:         c.Class,
+		StartInterval: 2 * time.Second,
+		ChurnFraction: c.Churn,
+		Session:       DefaultChurnSwarmParams().Session,
+		Downtime:      DefaultChurnSwarmParams().Downtime,
+		Seed:          c.Seed,
+		Horizon:       c.horizon,
+	})
+	if err != nil {
+		return err
+	}
+	total := out.StableTotal + out.ChurnTotal
+	snap.Set("clients-done", float64(out.StableDone+out.ChurnDone))
+	snap.Set("done-fraction", float64(out.StableDone+out.ChurnDone)/float64(total))
+	snap.Set("stable-done", float64(out.StableDone))
+	snap.Set("churn-done", float64(out.ChurnDone))
+	snap.Set("ended-s", out.EndedAt.Seconds())
+	snap.Count("arrivals", uint64(out.Arrivals))
+	snap.Count("departures", uint64(out.Departures))
+	return nil
+}
+
+func runDHTCell(c Cell, snap *metrics.Snapshot) error {
+	pt, err := DHTRing(c.Peers, c.lookups, c.Class, c.Seed)
+	if err != nil {
+		return err
+	}
+	snap.Set("avg-hops", pt.AvgHops)
+	snap.Set("avg-latency-ms", pt.AvgLatency.Seconds()*1000)
+	snap.Set("p90-latency-ms", pt.P90Latency.Seconds()*1000)
+	snap.Count("timeouts", pt.Timeouts)
+	return nil
+}
+
+func runGossipCell(c Cell, snap *metrics.Snapshot) error {
+	pt, err := GossipSpread(c.Peers, c.fanout, c.Class, c.Seed)
+	if err != nil {
+		return err
+	}
+	snap.Set("coverage", pt.Coverage)
+	snap.Set("t50-s", pt.T50.Seconds())
+	snap.Set("t100-s", pt.T100.Seconds())
+	snap.Count("pushes", pt.Pushes)
+	return nil
+}
+
+func runSchedCell(c Cell, snap *metrics.Snapshot) error {
+	for _, kind := range sched.Kinds {
+		cfg := sched.DefaultConfig(kind)
+		cfg.Seed = c.Seed
+		res := sched.Run(cfg, sched.CPUBoundJobs(c.Peers))
+		snap.Set("exec-avg-s/"+kind.String(), res.AvgExecTime().Seconds())
+		snap.Set("makespan-s/"+kind.String(), res.Makespan.Seconds())
+	}
+	return nil
+}
+
+func addKernelNetCounters(snap *metrics.Snapshot, events, switches, spawns,
+	sent, delivered, dropped, retrans, bytes uint64) {
+	snap.Count("kernel-events", events)
+	snap.Count("kernel-switches", switches)
+	snap.Count("kernel-spawns", spawns)
+	snap.Count("net-sent", sent)
+	snap.Count("net-delivered", delivered)
+	snap.Count("net-dropped", dropped)
+	snap.Count("net-retransmits", retrans)
+	snap.Count("net-bytes", bytes)
+}

@@ -1,0 +1,233 @@
+package exp
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/topo"
+)
+
+// TestGridExpansion checks the cross product is exhaustive,
+// duplicate-free and in deterministic grid order.
+func TestGridExpansion(t *testing.T) {
+	g := Grid{
+		Experiment: ExpDHT,
+		Peers:      []int{4, 8, 16},
+		Classes:    []topo.LinkClass{topo.LAN, topo.DSL},
+		Seeds:      []int64{1, 2},
+	}
+	cells, err := g.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 3*2*2 {
+		t.Fatalf("expanded %d cells, want 12", len(cells))
+	}
+	seen := map[string]bool{}
+	for i, c := range cells {
+		if c.Index != i {
+			t.Fatalf("cell %d has Index %d", i, c.Index)
+		}
+		key := c.String()
+		if seen[key] {
+			t.Fatalf("duplicate cell %s", key)
+		}
+		seen[key] = true
+	}
+	// Every axis combination must appear (exhaustive).
+	for _, p := range g.Peers {
+		for _, cl := range g.Classes {
+			for _, s := range g.Seeds {
+				want := Cell{Experiment: ExpDHT, Peers: p, Class: cl, Seed: s}.String()
+				if !seen[want] {
+					t.Fatalf("missing cell %s", want)
+				}
+			}
+		}
+	}
+	// Row-major order: seed varies fastest, peers slowest.
+	if cells[0].Peers != 4 || cells[0].Seed != 1 || cells[1].Seed != 2 {
+		t.Fatalf("unexpected order: %v then %v", cells[0], cells[1])
+	}
+	if cells[len(cells)-1].Peers != 16 {
+		t.Fatalf("last cell %v should have the largest population", cells[len(cells)-1])
+	}
+}
+
+// TestGridDefaults checks a zero-ish grid is exactly one cell.
+func TestGridDefaults(t *testing.T) {
+	cells, err := Grid{}.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 1 {
+		t.Fatalf("default grid expanded to %d cells, want 1", len(cells))
+	}
+	c := cells[0]
+	if c.Experiment != ExpSwarm || c.Peers != 16 || c.Churn != 0 || c.Class.Name != "dsl" || c.Seed != 1 {
+		t.Fatalf("default cell = %v", c)
+	}
+	// The churn experiment defaults to a churning population.
+	cells, err = Grid{Experiment: ExpChurn}.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cells[0].Churn != 0.5 {
+		t.Fatalf("churn default = %g, want 0.5", cells[0].Churn)
+	}
+}
+
+// TestGridRejectsDuplicates checks that repeated axis values and
+// multi-valued ignored axes are rejected rather than silently
+// producing duplicate cells.
+func TestGridRejectsDuplicates(t *testing.T) {
+	cases := []Grid{
+		{Experiment: ExpDHT, Peers: []int{8, 8}},
+		{Experiment: ExpDHT, Seeds: []int64{1, 1}},
+		{Experiment: ExpSwarm, Churn: []float64{0.2, 0.2}},
+		{Experiment: ExpDHT, Classes: []topo.LinkClass{topo.DSL, topo.DSL}},
+		{Experiment: ExpDHT, Churn: []float64{0, 0.5}},                           // dht ignores churn
+		{Experiment: ExpSched, Classes: []topo.LinkClass{topo.DSL, topo.Campus}}, // sched ignores class
+		{Experiment: ExpChurn, Churn: []float64{1.5}},                            // churn outside [0,1)
+		{Experiment: ExpChurn, Churn: []float64{-0.5}},
+		{Experiment: "bogus"},
+	}
+	for i, g := range cases {
+		if _, err := g.Cells(); err == nil {
+			t.Errorf("case %d: expected error, got none", i)
+		}
+	}
+}
+
+// sweepCSV renders a sweep's per-cell snapshots to CSV bytes.
+func sweepCSV(t *testing.T, r *SweepResult) string {
+	t.Helper()
+	var b strings.Builder
+	if err := metrics.WriteSnapshotsCSV(&b, r.Snapshots()); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// TestSweepWorkerCountIndependence runs the same grid with a serial
+// pool and a wide pool: per-cell snapshots and the merged aggregate
+// must be identical, because cells are independent kernels.
+func TestSweepWorkerCountIndependence(t *testing.T) {
+	g := Grid{
+		Experiment: ExpDHT,
+		Peers:      []int{4, 6},
+		Seeds:      []int64{1, 2},
+		Lookups:    10,
+	}
+	serial, err := RunSweep(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := RunSweep(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Failed != 0 || wide.Failed != 0 {
+		t.Fatalf("failures: serial %v, wide %v", serial.Errs(), wide.Errs())
+	}
+	if a, b := sweepCSV(t, serial), sweepCSV(t, wide); a != b {
+		t.Fatalf("per-cell results depend on worker count:\nserial:\n%s\nwide:\n%s", a, b)
+	}
+	if !reflect.DeepEqual(serial.Merged, wide.Merged) {
+		t.Fatalf("merged aggregates depend on worker count:\nserial %+v\nwide %+v",
+			serial.Merged, wide.Merged)
+	}
+	if serial.Merged.Cells != 4 {
+		t.Fatalf("merged %d cells, want 4", serial.Merged.Cells)
+	}
+}
+
+// TestSweepFailingCellIsolation checks a failing cell surfaces its
+// error without poisoning sibling cells.
+func TestSweepFailingCellIsolation(t *testing.T) {
+	g := Grid{
+		Experiment: ExpDHT,
+		Peers:      []int{1, 4}, // population 1 cannot form a ring: cell error
+		Lookups:    10,
+	}
+	res, err := RunSweep(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed != 1 {
+		t.Fatalf("Failed = %d, want 1 (errs: %v)", res.Failed, res.Errs())
+	}
+	if res.Cells[0].Err == nil || res.Cells[0].Snapshot != nil {
+		t.Fatalf("failing cell: err=%v snapshot=%v", res.Cells[0].Err, res.Cells[0].Snapshot)
+	}
+	if res.Cells[1].Err != nil || res.Cells[1].Snapshot == nil {
+		t.Fatalf("sibling cell poisoned: err=%v", res.Cells[1].Err)
+	}
+	if res.Merged.Cells != 1 {
+		t.Fatalf("merged %d cells, want 1", res.Merged.Cells)
+	}
+	errs := res.Errs()
+	if len(errs) != 1 || !strings.Contains(errs[0].Error(), "dht[peers=1") {
+		t.Fatalf("errors should identify the failing cell: %v", errs)
+	}
+}
+
+// TestSweepSchedCell smoke-tests the sched adapter end to end and the
+// aggregate table rendering.
+func TestSweepSchedCell(t *testing.T) {
+	g := Grid{Experiment: ExpSched, Peers: []int{20, 40}, Seeds: []int64{1}}
+	res, err := RunSweep(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed != 0 {
+		t.Fatal(res.Errs())
+	}
+	sum := res.Merged.Summary("exec-avg-s/Linux 2.6")
+	if sum.N != 2 || sum.Min <= 0 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	var b strings.Builder
+	if err := res.Merged.Table().Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "exec-avg-s") {
+		t.Fatalf("table missing measurements:\n%s", b.String())
+	}
+}
+
+// TestSweepSwarmAndChurnCells runs one tiny swarm cell and one tiny
+// churn cell through the public adapter, checking the swarm-family
+// routing on the churn axis.
+func TestSweepSwarmAndChurnCells(t *testing.T) {
+	if testing.Short() {
+		t.Skip("swarm cells are slow")
+	}
+	g := Grid{
+		Experiment: ExpSwarm,
+		Peers:      []int{6},
+		Churn:      []float64{0, 0.5},
+		FileSize:   1 << 20,
+		Horizon:    4 * time.Hour,
+	}
+	res, err := RunSweep(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed != 0 {
+		t.Fatal(res.Errs())
+	}
+	plain, churned := res.Cells[0].Snapshot, res.Cells[1].Snapshot
+	if plain.Values["done-fraction"] != 1 {
+		t.Fatalf("plain swarm incomplete: %v", plain.Values)
+	}
+	if _, ok := churned.Counters["arrivals"]; !ok {
+		t.Fatalf("churn cell did not run the churn variant: %v", churned.Counters)
+	}
+	if plain.Counters["kernel-events"] == 0 {
+		t.Fatal("swarm cell recorded no kernel activity")
+	}
+}

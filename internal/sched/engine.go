@@ -1,7 +1,6 @@
 package sched
 
 import (
-	"container/heap"
 	"math/rand"
 	"time"
 )
@@ -29,18 +28,58 @@ type cpuEvent struct {
 	requeue *proc
 }
 
+// eventHeap is a typed min-heap ordered by (at, cpu). It deliberately
+// avoids container/heap: the any-based interface boxes every cpuEvent
+// on Push and Pop, two heap allocations per scheduler decision that
+// dominated the Fig 1 allocation profile.
 type eventHeap []cpuEvent
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].cpu < h[j].cpu
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(cpuEvent)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+func (h *eventHeap) push(ev cpuEvent) {
+	q := append(*h, ev)
+	*h = q
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() cpuEvent {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = cpuEvent{} // release the requeue pointer
+	q = q[:n]
+	*h = q
+	i := 0
+	for {
+		small, l, r := i, 2*i+1, 2*i+2
+		if l < n && q.less(l, small) {
+			small = l
+		}
+		if r < n && q.less(r, small) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		q[i], q[small] = q[small], q[i]
+		i = small
+	}
+	return top
+}
 
 // engine drives one simulation run.
 type engine struct {
@@ -108,18 +147,18 @@ const idleRecheck = 10 * time.Millisecond
 func (e *engine) loop() {
 	var h eventHeap
 	for cpu := 0; cpu < e.cfg.CPUs; cpu++ {
-		heap.Push(&h, cpuEvent{at: 0, cpu: cpu})
+		h.push(cpuEvent{at: 0, cpu: cpu})
 	}
 	remaining := len(e.procs)
-	for remaining > 0 && h.Len() > 0 {
-		ev := heap.Pop(&h).(cpuEvent)
+	for remaining > 0 && len(h) > 0 {
+		ev := h.pop()
 		e.running[ev.cpu] = nil
 		if ev.requeue != nil {
 			e.sched.put(ev.requeue)
 		}
 		p := e.pick(ev.cpu, ev.at)
 		if p == nil {
-			heap.Push(&h, cpuEvent{at: ev.at + idleRecheck, cpu: ev.cpu})
+			h.push(cpuEvent{at: ev.at + idleRecheck, cpu: ev.cpu})
 			continue
 		}
 		t := ev.at
@@ -157,11 +196,11 @@ func (e *engine) loop() {
 				e.tokenHolder = nil
 			}
 			remaining--
-			heap.Push(&h, cpuEvent{at: t, cpu: ev.cpu})
+			h.push(cpuEvent{at: t, cpu: ev.cpu})
 		} else {
 			// The proc stays invisible to other CPUs until its slice
 			// ends; it rejoins the queue when this event pops.
-			heap.Push(&h, cpuEvent{at: t, cpu: ev.cpu, requeue: p})
+			h.push(cpuEvent{at: t, cpu: ev.cpu, requeue: p})
 		}
 	}
 }

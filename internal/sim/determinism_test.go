@@ -1,0 +1,132 @@
+package sim_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// determinismWorkload is a deliberately messy mix of everything the
+// event queue must order: parked goroutines with tie-heavy sleep
+// durations, timers that get cancelled and rescheduled mid-run, and
+// far-future events that fall off the horizon. Every observable step is
+// written to a trace log.
+func determinismWorkload(kind sim.QueueKind, seed int64) (string, sim.Stats, error) {
+	k := sim.NewWithQueue(seed, kind)
+	lg := trace.New(0)
+
+	// Tie-heavy sleepers: coarse sleep quanta force many same-instant
+	// wakeups whose relative order is pure (at, seq) FIFO.
+	for i := 0; i < 8; i++ {
+		k.Go(fmt.Sprintf("worker-%d", i), func(p *sim.Proc) {
+			for j := 0; j < 60; j++ {
+				p.Sleep(time.Duration(p.Rand().Intn(4)) * time.Millisecond)
+				lg.Add(p.Now(), "step", p.Name(), "j=%d", j)
+			}
+		})
+	}
+
+	// Timers scheduled on a coarse lattice (more ties), a third of which
+	// are later cancelled and a third rescheduled.
+	var timers []*sim.Event
+	for i := 0; i < 48; i++ {
+		i := i
+		at := sim.Time(i%6) * sim.Time(20*time.Millisecond)
+		timers = append(timers, k.At(at, func() {
+			lg.Add(k.Now(), "timer", "", "i=%d", i)
+		}))
+	}
+	k.After(30*time.Millisecond, func() {
+		lg.Add(k.Now(), "perturb", "", "cancel+reschedule")
+		for i, ev := range timers {
+			switch i % 3 {
+			case 0:
+				ev.Cancel()
+			case 1:
+				ev.Reschedule(k.Now().Add(time.Duration(i) * time.Millisecond))
+			}
+		}
+	})
+
+	// Far-future events, past the horizon: they must be discarded
+	// without ever firing, under either queue.
+	for i := 0; i < 16; i++ {
+		i := i
+		k.At(sim.Time(400*24*time.Hour)+sim.Time(i), func() {
+			lg.Add(k.Now(), "far", "", "i=%d", i)
+		})
+	}
+
+	err := k.RunUntil(sim.Time(5 * time.Second))
+	var buf bytes.Buffer
+	if rerr := lg.Render(&buf); rerr != nil {
+		return "", sim.Stats{}, rerr
+	}
+	return buf.String(), k.Snapshot(), err
+}
+
+// TestQueueSwapPreservesDeterminism is the property test backing the
+// calendar-queue swap: for any fixed seed, the event-delivery order
+// (and hence the rendered trace and kernel stats) must be byte-identical
+// between the reference heap and the calendar queue.
+func TestQueueSwapPreservesDeterminism(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		heapTrace, heapStats, err := determinismWorkload(sim.QueueHeap, seed)
+		if err != nil {
+			t.Fatalf("seed %d: heap run: %v", seed, err)
+		}
+		calTrace, calStats, err := determinismWorkload(sim.QueueCalendar, seed)
+		if err != nil {
+			t.Fatalf("seed %d: calendar run: %v", seed, err)
+		}
+		if heapStats != calStats {
+			t.Errorf("seed %d: stats diverge: heap %+v, calendar %+v", seed, heapStats, calStats)
+		}
+		if heapTrace != calTrace {
+			t.Errorf("seed %d: traces diverge (heap %d bytes, calendar %d bytes)",
+				seed, len(heapTrace), len(calTrace))
+			reportFirstDiff(t, heapTrace, calTrace)
+		}
+		if !bytes.Contains([]byte(heapTrace), []byte("perturb")) {
+			t.Fatalf("seed %d: workload never reached the cancel/reschedule phase", seed)
+		}
+		if bytes.Contains([]byte(heapTrace), []byte("far")) {
+			t.Fatalf("seed %d: far-future event fired inside the horizon", seed)
+		}
+	}
+}
+
+// TestSameKindRunsAreIdentical is the baseline reproducibility check:
+// the same seed and queue kind give the same bytes run over run.
+func TestSameKindRunsAreIdentical(t *testing.T) {
+	for _, kind := range []sim.QueueKind{sim.QueueHeap, sim.QueueCalendar} {
+		a, as, err := determinismWorkload(kind, 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, bs, err := determinismWorkload(kind, 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b || as != bs {
+			t.Errorf("queue kind %d: repeated run diverged", kind)
+		}
+	}
+}
+
+func reportFirstDiff(t *testing.T, a, b string) {
+	t.Helper()
+	al := bytes.Split([]byte(a), []byte("\n"))
+	bl := bytes.Split([]byte(b), []byte("\n"))
+	for i := 0; i < len(al) && i < len(bl); i++ {
+		if !bytes.Equal(al[i], bl[i]) {
+			t.Logf("first divergence at line %d:\n  heap:     %s\n  calendar: %s", i+1, al[i], bl[i])
+			return
+		}
+	}
+	t.Logf("one trace is a prefix of the other (%d vs %d lines)", len(al), len(bl))
+}

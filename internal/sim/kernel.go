@@ -15,10 +15,15 @@
 //
 // Blocking primitives (Cond, Chan, Semaphore) are built on top of the
 // park/wake mechanism and are safe to use only from simulated goroutines.
+//
+// Determinism is a per-kernel property: one kernel is one serialized
+// timeline, and nothing inside it may run concurrently. Experiment
+// sweeps therefore parallelize across kernels — many independent
+// Kernel instances on separate OS threads (see repro/internal/exp's
+// sweep engine) — never within one.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -48,46 +53,28 @@ func (t Time) String() string { return Duration(t).String() }
 
 // event is a scheduled callback. Callbacks run inside the kernel loop and
 // must not block; they typically wake parked tasks or schedule more events.
+//
+// event structs are pooled on a per-kernel free list: after dispatch (or
+// a cancelled event's lazy removal) the struct is recycled for the next
+// schedule. gen distinguishes incarnations so a stale Event handle held
+// across recycling can no longer cancel or reschedule the new occupant.
 type event struct {
-	at   Time
-	seq  uint64 // FIFO tie-break for events at the same instant
-	fn   func()
-	idx  int // heap index, -1 when popped or cancelled
-	dead bool
-}
-
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].idx = i
-	q[j].idx = j
-}
-func (q *eventQueue) Push(x any) {
-	ev := x.(*event)
-	ev.idx = len(*q)
-	*q = append(*q, ev)
-}
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.idx = -1
-	*q = old[:n-1]
-	return ev
+	at      Time
+	seq     uint64 // FIFO tie-break for events at the same instant
+	fn      func()
+	next    *event // calendar-queue slot chain / free-list link
+	tie     *event // calendar queue: next event at the same instant
+	tieTail *event // calendar queue: last event of a slot head's tie run
+	idx     int    // heap index (QueueHeap only)
+	gen     uint64 // incarnation counter, bumped on recycle
+	dead    bool   // cancelled; skipped (and recycled) at dispatch
+	queued  bool   // currently in the timer queue
 }
 
 // task is the kernel-side state of one simulated goroutine.
 type task struct {
 	name    string
+	id      uint64        // spawn order; fixes the unwind order at kill time
 	wake    chan struct{} // capacity 1; token grant
 	blocked bool          // parked, waiting for a wake
 	exited  bool
@@ -106,7 +93,8 @@ type Kernel struct {
 
 	now     Time
 	seq     uint64
-	events  eventQueue
+	events  timerQueue
+	free    *event  // recycled event structs
 	ready   []*task // runnable tasks, FIFO
 	running bool    // a task currently holds the execution token
 	nLive   int     // spawned and not yet exited
@@ -129,10 +117,21 @@ type Stats struct {
 
 // New returns a kernel whose random source is seeded with seed.
 // The same seed and workload reproduce the same run exactly.
-func New(seed int64) *Kernel {
+func New(seed int64) *Kernel { return NewWithQueue(seed, QueueCalendar) }
+
+// NewWithQueue returns a kernel using the given event-queue
+// implementation. Both kinds dispatch in identical order; QueueHeap
+// exists for differential tests and benchmarks against QueueCalendar.
+func NewWithQueue(seed int64, kind QueueKind) *Kernel {
 	k := &Kernel{
 		rng:     rand.New(rand.NewSource(seed)),
 		blocked: make(map[*task]struct{}),
+	}
+	switch kind {
+	case QueueHeap:
+		k.events = &heapQueue{}
+	default:
+		k.events = newCalQueue()
 	}
 	k.cond = sync.NewCond(&k.mu)
 	return k
@@ -167,6 +166,7 @@ func (k *Kernel) Go(name string, fn func(p *Proc)) {
 	k.mu.Lock()
 	k.nLive++
 	k.stats.Spawns++
+	t.id = k.stats.Spawns
 	k.ready = append(k.ready, t)
 	k.mu.Unlock()
 	go func() {
@@ -213,19 +213,49 @@ func (k *Kernel) After(d Duration, fn func()) *Event {
 }
 
 func (k *Kernel) scheduleLocked(at Time, fn func()) *Event {
+	ev := k.allocLocked(at, fn)
+	k.events.push(ev)
+	return &Event{k: k, ev: ev, gen: ev.gen}
+}
+
+// allocLocked takes an event struct off the free list (or allocates one)
+// and initializes it for scheduling. Callers hold k.mu.
+func (k *Kernel) allocLocked(at Time, fn func()) *event {
 	if at < k.now {
 		at = k.now
 	}
-	ev := &event{at: at, seq: k.seq, fn: fn}
+	ev := k.free
+	if ev != nil {
+		k.free = ev.next
+		ev.next = nil
+	} else {
+		ev = &event{}
+	}
+	ev.at, ev.seq, ev.fn, ev.dead = at, k.seq, fn, false
 	k.seq++
-	heap.Push(&k.events, ev)
-	return &Event{k: k, ev: ev}
+	return ev
+}
+
+// recycleLocked returns a dispatched or cancelled event struct to the
+// free list. Callers hold k.mu; ev must no longer be queued.
+func (k *Kernel) recycleLocked(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	ev.next = k.free
+	k.free = ev
 }
 
 // Event is a cancellable handle to a scheduled callback.
 type Event struct {
-	k  *Kernel
-	ev *event
+	k   *Kernel
+	ev  *event
+	gen uint64 // incarnation the handle refers to
+}
+
+// live reports whether the handle still refers to a pending event.
+// Callers hold e.k.mu.
+func (e *Event) liveLocked() bool {
+	return e.ev.gen == e.gen && e.ev.queued && !e.ev.dead
 }
 
 // Cancel prevents the callback from running if it has not fired yet.
@@ -236,10 +266,32 @@ func (e *Event) Cancel() bool {
 	}
 	e.k.mu.Lock()
 	defer e.k.mu.Unlock()
-	if e.ev.dead || e.ev.idx < 0 {
+	if !e.liveLocked() {
 		return false
 	}
 	e.ev.dead = true
+	return true
+}
+
+// Reschedule moves a still-pending callback to instant at (clamped to
+// now if in the past), preserving the callback but taking a fresh
+// position in the same-instant FIFO order, exactly as if the event had
+// been cancelled and scheduled anew. It reports whether the move took
+// effect; a fired or cancelled event is not revived.
+func (e *Event) Reschedule(at Time) bool {
+	if e == nil || e.ev == nil {
+		return false
+	}
+	e.k.mu.Lock()
+	defer e.k.mu.Unlock()
+	if !e.liveLocked() {
+		return false
+	}
+	fn := e.ev.fn
+	e.ev.dead = true // lazily removed by the queue
+	ev := e.k.allocLocked(at, fn)
+	e.k.events.push(ev)
+	e.ev, e.gen = ev, ev.gen
 	return true
 }
 
@@ -282,26 +334,30 @@ func (k *Kernel) Run() error {
 			continue
 		}
 		// 2. Advance the clock to the next event batch.
-		if k.events.Len() > 0 {
-			ev := heap.Pop(&k.events).(*event)
+		if k.events.len() > 0 {
+			ev := k.events.pop()
 			if ev.dead {
+				k.recycleLocked(ev)
 				continue
 			}
 			if k.limit > 0 && ev.at > k.limit {
 				// Past the horizon: drop remaining events and stop.
 				k.now = k.limit
+				k.recycleLocked(ev)
 				k.drainLocked()
 				k.killAllLocked()
 				return nil
 			}
 			k.now = ev.at
 			k.stats.Events++
+			fn := ev.fn
+			k.recycleLocked(ev)
 			// Callbacks run without the kernel lock: no simulated
 			// goroutine is executing at this point (ready is empty and
 			// running is false), so callbacks may freely use the public
 			// blocking-free API (Cond.Signal, Kernel.At, ...).
 			k.mu.Unlock()
-			ev.fn()
+			fn()
 			k.mu.Lock()
 			continue
 		}
@@ -322,21 +378,32 @@ func (k *Kernel) Run() error {
 
 // killAllLocked unwinds every remaining task (parked or ready) so a
 // finished run leaks no goroutines. Unwound tasks panic with a sentinel
-// that the Go wrapper recovers; their deferred functions must not call
-// blocking sim primitives. Callers hold k.mu; on return nLive is zero.
+// that the Go wrapper recovers; deferred cleanups (conn.Close and the
+// like) run during that unwind, so tasks are unwound strictly one at a
+// time — ready tasks in FIFO order, then parked tasks in spawn order —
+// keeping the one-goroutine-at-a-time invariant (and therefore
+// determinism and race-freedom) through teardown. Callers hold k.mu;
+// on return nLive is zero.
 func (k *Kernel) killAllLocked() {
+	victims := append([]*task(nil), k.ready...)
+	k.ready = nil
+	parked := make([]*task, 0, len(k.blocked))
 	for t := range k.blocked {
-		t.killed = true
 		t.blocked = false
 		delete(k.blocked, t)
 		k.nBlock--
-		t.wake <- struct{}{}
+		parked = append(parked, t)
 	}
-	for _, t := range k.ready {
+	sort.Slice(parked, func(i, j int) bool { return parked[i].id < parked[j].id })
+	victims = append(victims, parked...)
+	for _, t := range victims {
 		t.killed = true
+		k.running = true
 		t.wake <- struct{}{}
+		for k.running {
+			k.cond.Wait()
+		}
 	}
-	k.ready = nil
 	for k.nLive > 0 {
 		k.cond.Wait()
 	}
@@ -364,8 +431,8 @@ func (k *Kernel) RunUntil(limit Time) error {
 
 // drainLocked discards all pending events. Callers hold k.mu.
 func (k *Kernel) drainLocked() {
-	for k.events.Len() > 0 {
-		heap.Pop(&k.events)
+	for k.events.len() > 0 {
+		k.recycleLocked(k.events.pop())
 	}
 }
 

@@ -1,0 +1,221 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// popOrderKey compares two events in dispatch order.
+func eventLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// TestCalQueueMatchesHeap drives a calendar queue and the reference heap
+// through the same randomized kernel-shaped push/pop schedule (pushes
+// never go below the last popped instant, mirroring the kernel's clamp)
+// and asserts every pop agrees.
+func TestCalQueueMatchesHeap(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	cal := newCalQueue()
+	ref := &heapQueue{}
+	var seq uint64
+	now := Time(0)
+
+	mk := func(at Time) (*event, *event) {
+		a := &event{at: at, seq: seq}
+		b := &event{at: at, seq: seq}
+		seq++
+		return a, b
+	}
+	for step := 0; step < 200000; step++ {
+		if cal.len() == 0 || rng.Intn(3) != 0 {
+			var at Time
+			switch rng.Intn(10) {
+			case 0: // same instant: FIFO tie-break territory
+				at = now
+			case 1: // far future: exercises the sparse direct-search path
+				at = now + Time(time.Hour)*Time(1+rng.Intn(100))
+			default: // clustered near now, the common case
+				at = now + Time(rng.Intn(int(50*time.Microsecond)))
+			}
+			a, b := mk(at)
+			cal.push(a)
+			ref.push(b)
+		} else {
+			a := cal.pop()
+			b := ref.pop()
+			if a.at != b.at || a.seq != b.seq {
+				t.Fatalf("step %d: calendar popped (at=%v seq=%d), heap popped (at=%v seq=%d)",
+					step, a.at, a.seq, b.at, b.seq)
+			}
+			now = a.at
+		}
+	}
+	for cal.len() > 0 {
+		a := cal.pop()
+		b := ref.pop()
+		if a.at != b.at || a.seq != b.seq {
+			t.Fatalf("drain: calendar popped (at=%v seq=%d), heap popped (at=%v seq=%d)",
+				a.at, a.seq, b.at, b.seq)
+		}
+	}
+	if ref.len() != 0 {
+		t.Fatalf("heap retains %d events after calendar drained", ref.len())
+	}
+}
+
+// TestCalQueueSameInstantFIFO checks that a burst at one instant comes
+// back in schedule order.
+func TestCalQueueSameInstantFIFO(t *testing.T) {
+	q := newCalQueue()
+	for i := 0; i < 1000; i++ {
+		q.push(&event{at: 12345, seq: uint64(i)})
+	}
+	for i := 0; i < 1000; i++ {
+		ev := q.pop()
+		if ev.seq != uint64(i) {
+			t.Fatalf("pop %d: got seq %d", i, ev.seq)
+		}
+	}
+}
+
+// TestCalQueueResize pushes enough events to force growth, drains to
+// force shrink, and checks global ordering throughout.
+func TestCalQueueResize(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	q := newCalQueue()
+	const n = 50000
+	for i := 0; i < n; i++ {
+		q.push(&event{at: Time(rng.Intn(int(time.Second))), seq: uint64(i)})
+	}
+	if len(q.buckets) <= calMinBuckets {
+		t.Fatalf("expected bucket growth, still %d buckets for %d events", len(q.buckets), n)
+	}
+	var prev *event
+	for q.len() > 0 {
+		ev := q.pop()
+		if prev != nil && !eventLess(prev, ev) {
+			t.Fatalf("out of order: (at=%v seq=%d) after (at=%v seq=%d)", ev.at, ev.seq, prev.at, prev.seq)
+		}
+		prev = ev
+	}
+	if len(q.buckets) != calMinBuckets {
+		t.Fatalf("expected shrink back to %d buckets, have %d", calMinBuckets, len(q.buckets))
+	}
+}
+
+// TestCalQueueSparseFarFuture exercises the direct-search path: a
+// handful of events separated by enormous gaps.
+func TestCalQueueSparseFarFuture(t *testing.T) {
+	q := newCalQueue()
+	ats := []Time{
+		Time(365 * 24 * time.Hour),
+		Time(time.Nanosecond),
+		Time(100 * 365 * 24 * time.Hour),
+		Time(time.Hour),
+	}
+	for i, at := range ats {
+		q.push(&event{at: at, seq: uint64(i)})
+	}
+	want := []Time{ats[1], ats[3], ats[0], ats[2]}
+	for i, w := range want {
+		ev := q.pop()
+		if ev.at != w {
+			t.Fatalf("pop %d: got at=%v, want %v", i, ev.at, w)
+		}
+	}
+	if q.pop() != nil {
+		t.Fatal("pop on empty queue should return nil")
+	}
+}
+
+// TestEventHandleStaleAfterRecycle checks that a handle to a fired
+// event cannot cancel the recycled struct's next incarnation.
+func TestEventHandleStaleAfterRecycle(t *testing.T) {
+	k := New(1)
+	fired := make(map[string]bool)
+	h1 := k.After(time.Millisecond, func() { fired["first"] = true })
+	k.After(2*time.Millisecond, func() {
+		// "first" already fired and its struct was recycled (the free
+		// list is LIFO, so the next schedule reuses it).
+		if h1.Cancel() {
+			t.Error("Cancel on a fired event's stale handle reported success")
+		}
+		if h1.Reschedule(k.Now().Add(time.Hour)) {
+			t.Error("Reschedule on a fired event's stale handle reported success")
+		}
+		k.After(time.Millisecond, func() { fired["second"] = true })
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !fired["first"] || !fired["second"] {
+		t.Fatalf("fired = %v, want both", fired)
+	}
+}
+
+// TestEventReschedule moves a timer forward and backward and checks the
+// callback fires exactly once, at the rescheduled instant, in fresh
+// FIFO position.
+func TestEventReschedule(t *testing.T) {
+	k := New(1)
+	var order []string
+	at := func(name string) func() {
+		return func() { order = append(order, name) }
+	}
+	ev := k.At(Time(10*time.Millisecond), at("moved"))
+	k.At(Time(5*time.Millisecond), at("five"))
+	k.At(Time(20*time.Millisecond), at("twenty"))
+	k.At(0, func() {
+		// Move the 10ms timer to 20ms: it must now fire after the
+		// pre-existing 20ms event (fresh seq).
+		if !ev.Reschedule(Time(20 * time.Millisecond)) {
+			t.Error("Reschedule of pending event failed")
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"five", "twenty", "moved"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	// A fired event cannot be revived.
+	if ev.Reschedule(Time(time.Hour)) {
+		t.Error("Reschedule of fired event reported success")
+	}
+}
+
+// TestCancelledEventRecycled checks cancelled events are lazily removed
+// and their structs reused without disturbing later events.
+func TestCancelledEventRecycled(t *testing.T) {
+	k := New(1)
+	n := 0
+	var evs []*Event
+	for i := 0; i < 100; i++ {
+		evs = append(evs, k.After(time.Duration(i+1)*time.Millisecond, func() { n++ }))
+	}
+	for i, ev := range evs {
+		if i%2 == 0 && !ev.Cancel() {
+			t.Fatalf("cancel %d failed", i)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		k.After(time.Duration(i+1)*time.Microsecond, func() { n++ })
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 100 {
+		t.Fatalf("fired %d callbacks, want 100", n)
+	}
+}

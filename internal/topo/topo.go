@@ -47,6 +47,22 @@ var (
 	LAN = LinkClass{Name: "lan", Down: 1 * netem.Gbps, Up: 1 * netem.Gbps, Latency: time.Millisecond}
 )
 
+// Classes lists the predefined access-link classes.
+func Classes() []LinkClass {
+	return []LinkClass{DSL, Modem, SlowDSL, FastDSL, Campus, Office, LAN}
+}
+
+// ClassByName looks up a predefined access-link class by its Name,
+// for command-line parameter grids.
+func ClassByName(name string) (LinkClass, bool) {
+	for _, c := range Classes() {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return LinkClass{}, false
+}
+
 // Group is a set of nodes sharing a prefix and an access-link class.
 // Groups may nest (a /24 ISP inside a /16 country); latencies can be
 // declared at any level and the most specific declared pair wins.

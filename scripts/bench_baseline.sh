@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Records the benchmark baseline used by the regression harness.
+#
+#   scripts/bench_baseline.sh               # rewrite BENCH_baseline.json
+#   scripts/bench_baseline.sh check         # run now and diff against it
+#
+# The recorded set covers the kernel hot path (event dispatch under the
+# two queue implementations) and the figure-level scheduler workload:
+# the benchmarks whose trajectory the queue/pooling work is expected to
+# move. Compare machines with a grain of salt — the baseline is only
+# meaningful against runs on comparable hardware.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PATTERN='BenchmarkKernelModes|BenchmarkKernelQueues|BenchmarkFig1SchedulerScaling|BenchmarkSweep'
+OUT=BENCH_baseline.json
+
+run() {
+  go test -run=NONE -bench "$PATTERN" -benchmem -benchtime=1s -count=1 .
+}
+
+case "${1:-record}" in
+  record)
+    run | go run ./cmd/benchjson > "$OUT"
+    echo "wrote $OUT"
+    ;;
+  check)
+    tmp=$(mktemp)
+    trap 'rm -f "$tmp"' EXIT
+    run | go run ./cmd/benchjson > "$tmp"
+    go run ./cmd/benchjson -diff "$OUT" "$tmp"
+    ;;
+  *)
+    echo "usage: $0 [record|check]" >&2
+    exit 2
+    ;;
+esac
