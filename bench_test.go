@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/bt"
 	"repro/internal/exp"
+	"repro/internal/flow"
 	"repro/internal/ip"
 	"repro/internal/netem"
 	"repro/internal/sched"
@@ -403,6 +404,59 @@ func BenchmarkPipeGranularity(b *testing.B) {
 			at = exit
 		}
 	})
+}
+
+// BenchmarkFlowChurn measures the incremental max-min solver
+// (DESIGN.md decision 5) under steady-state churn of ~1k concurrent
+// flows: every completion immediately starts a replacement, so each op
+// is one departure plus one arrival — two component re-solves with
+// completion-event reschedules. components=1 puts the whole population
+// on one shared bottleneck (every re-solve touches all ~1k flows);
+// components=64 spreads it across disjoint bottlenecks, where the
+// component scoping makes each re-solve touch only ~16 flows. The
+// flows/solve metric is the incrementality measure: per-churn-event
+// work must track the affected component, not the population.
+func BenchmarkFlowChurn(b *testing.B) {
+	for _, comps := range []int{1, 64} {
+		b.Run(fmt.Sprintf("components=%d", comps), func(b *testing.B) {
+			const population = 1024
+			k := sim.New(1)
+			m := flow.New(k)
+			rng := rand.New(rand.NewSource(1))
+			links := make([]*netem.Pipe, comps)
+			for i := range links {
+				links[i] = netem.NewPipe(k, fmt.Sprintf("l%d", i),
+					netem.PipeConfig{Bandwidth: 100 * netem.Mbps})
+			}
+			completed := 0
+			var spawn func(i int)
+			spawn = func(i int) {
+				size := 32*1024 + rng.Intn(256*1024)
+				m.Transfer(k.Now(), size, []*netem.Pipe{links[i%comps]}, k.Rand(),
+					func(_ sim.Time, ok bool) {
+						if !ok {
+							b.Fail()
+							return
+						}
+						completed++
+						if completed < b.N {
+							spawn(i)
+						} else {
+							k.Stop()
+						}
+					})
+			}
+			for i := 0; i < population; i++ {
+				spawn(i)
+			}
+			b.ResetTimer()
+			if err := k.Run(); err != nil {
+				b.Fatal(err)
+			}
+			st := m.Stats()
+			b.ReportMetric(float64(st.SolvedFlows)/float64(st.Solves), "flows/solve")
+		})
+	}
 }
 
 // BenchmarkPipeScheduleAt measures the per-message cost of the pipe

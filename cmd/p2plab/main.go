@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/exp"
 	"repro/internal/metrics"
+	"repro/internal/netem"
 )
 
 func main() {
@@ -36,7 +37,13 @@ func main() {
 	out := flag.String("out", "results", "output directory for .dat and .txt files")
 	scale := flag.Int("scale", 1, "divide swarm experiment size by this factor")
 	seed := flag.Int64("seed", 1, "deterministic random seed")
+	modelName := flag.String("model", "pipe", "link model for swarm experiments (pipe, flow)")
 	flag.Parse()
+
+	model, err := netem.ParseModel(*modelName)
+	if err != nil {
+		fatal(err)
+	}
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fatal(err)
@@ -48,7 +55,7 @@ func main() {
 	for _, id := range ids {
 		start := time.Now()
 		fmt.Printf("== figure %s ==\n", id)
-		if err := run(id, *out, *scale, *seed); err != nil {
+		if err := run(id, *out, *scale, *seed, model); err != nil {
 			fatal(fmt.Errorf("figure %s: %w", id, err))
 		}
 		fmt.Printf("   done in %v\n", time.Since(start).Round(time.Millisecond))
@@ -101,7 +108,7 @@ func writePlot(dir, figID, datName, title, xlabel, ylabel string, curves []strin
 	return os.WriteFile(filepath.Join(dir, "fig"+figID+".gp"), []byte(b.String()), 0o644)
 }
 
-func run(id, out string, scale int, seed int64) error {
+func run(id, out string, scale int, seed int64, model netem.ModelKind) error {
 	switch id {
 	case "1":
 		series := exp.Fig1(nil, seed)
@@ -173,6 +180,7 @@ func run(id, out string, scale int, seed int64) error {
 	case "8":
 		sp := exp.Fig8Params().Scale(scale)
 		sp.Seed = seed
+		sp.Model = model
 		outcome, err := exp.RunSwarm(sp)
 		if err != nil {
 			return err
@@ -193,6 +201,7 @@ func run(id, out string, scale int, seed int64) error {
 	case "9":
 		sp := exp.Fig8Params().Scale(scale)
 		sp.Seed = seed
+		sp.Model = model
 		foldings := exp.Fig9Foldings
 		if scale > 1 {
 			foldings = []int{1, 4, 8}
@@ -219,6 +228,7 @@ func run(id, out string, scale int, seed int64) error {
 	case "10", "11":
 		sp := exp.Fig10Params().Scale(scale)
 		sp.Seed = seed
+		sp.Model = model
 		outcome, err := exp.RunSwarm(sp)
 		if err != nil {
 			return err
@@ -269,6 +279,7 @@ func run(id, out string, scale int, seed int64) error {
 	case "churn":
 		cp := exp.DefaultChurnSwarmParams()
 		cp.Seed = seed
+		cp.Model = model
 		outcome, err := exp.RunChurnSwarm(cp)
 		if err != nil {
 			return err

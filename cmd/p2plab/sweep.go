@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/exp"
 	"repro/internal/metrics"
+	"repro/internal/netem"
 	"repro/internal/topo"
 )
 
@@ -23,6 +24,7 @@ func sweepMain(args []string) error {
 	peers := fs.String("peers", "", "comma-separated population sizes (default: experiment-specific)")
 	churn := fs.String("churn", "", "comma-separated churn fractions in [0,1)")
 	classes := fs.String("class", "", "comma-separated link classes (dsl, modem, slow-dsl, fast-dsl, campus, office, lan)")
+	models := fs.String("model", "", "comma-separated link models (pipe, flow)")
 	seeds := fs.String("seeds", "", "comma-separated random seeds")
 	workers := fs.Int("workers", 0, "worker pool size (default: one per CPU)")
 	fileSize := fs.Int("file-size", 0, "swarm file size in bytes (default 2 MiB)")
@@ -53,6 +55,9 @@ func sweepMain(args []string) error {
 	}
 	if g.Classes, err = parseClasses(*classes); err != nil {
 		return fmt.Errorf("-class: %w", err)
+	}
+	if g.Models, err = parseModels(*models); err != nil {
+		return fmt.Errorf("-model: %w", err)
 	}
 
 	cells, err := g.Cells()
@@ -140,6 +145,18 @@ func parseClasses(s string) ([]topo.LinkClass, error) {
 			return nil, fmt.Errorf("unknown link class %q", f)
 		}
 		out = append(out, c)
+	}
+	return out, nil
+}
+
+func parseModels(s string) ([]netem.ModelKind, error) {
+	var out []netem.ModelKind
+	for _, f := range splitList(s) {
+		m, err := netem.ParseModel(f)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
 	}
 	return out, nil
 }

@@ -6,6 +6,7 @@ import (
 	"repro/internal/bt"
 	"repro/internal/churn"
 	"repro/internal/ip"
+	"repro/internal/netem"
 	"repro/internal/sim"
 	"repro/internal/topo"
 	"repro/internal/vnet"
@@ -26,8 +27,10 @@ type ChurnSwarmParams struct {
 	// Session and Downtime describe the churners' lifecycle.
 	Session  churn.Lifetime
 	Downtime churn.Lifetime
-	Seed     int64
-	Horizon  time.Duration
+	// Model selects pipe-level or flow-level link emulation.
+	Model   netem.ModelKind
+	Seed    int64
+	Horizon time.Duration
 }
 
 // DefaultChurnSwarmParams returns a moderate-churn configuration.
@@ -94,7 +97,9 @@ func (cc *churningClient) Offline(p *sim.Proc) {
 // RunChurnSwarm executes E3 and reports completion under churn.
 func RunChurnSwarm(cp ChurnSwarmParams) (*ChurnSwarmOutcome, error) {
 	k := sim.New(cp.Seed)
-	net := vnet.NewNetwork(k, nil, vnet.DefaultConfig())
+	ncfg := vnet.DefaultConfig()
+	ncfg.Model = cp.Model
+	net := vnet.NewNetwork(k, nil, ncfg)
 	trackerHost, err := net.AddHostClass(ip.MustParseAddr("10.250.0.1"), topo.LAN)
 	if err != nil {
 		return nil, err

@@ -33,8 +33,16 @@ type DHTPoint struct {
 // performs lookups and reports the aggregate. It is the cell runner
 // behind DHTScaling, DHTLocality and the sweep engine's dht adapter.
 func DHTRing(n, lookups int, class topo.LinkClass, seed int64) (DHTPoint, error) {
+	return DHTRingModel(n, lookups, class, netem.ModelPipe, seed)
+}
+
+// DHTRingModel is DHTRing under an explicit link model — the sweep
+// engine's model axis.
+func DHTRingModel(n, lookups int, class topo.LinkClass, model netem.ModelKind, seed int64) (DHTPoint, error) {
 	k := sim.New(seed)
-	net := vnet.NewNetwork(k, nil, vnet.DefaultConfig())
+	ncfg := vnet.DefaultConfig()
+	ncfg.Model = model
+	net := vnet.NewNetwork(k, nil, ncfg)
 	var nodes []*chord.Node
 	base := ip.MustParseAddr("10.0.0.1")
 	for i := 0; i < n; i++ {

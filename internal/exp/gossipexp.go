@@ -28,8 +28,16 @@ type GossipPoint struct {
 // class, one update published at t=1s, measured until full coverage or
 // the horizon.
 func GossipSpread(n, fanout int, class topo.LinkClass, seed int64) (GossipPoint, error) {
+	return GossipSpreadModel(n, fanout, class, netem.ModelPipe, seed)
+}
+
+// GossipSpreadModel is GossipSpread under an explicit link model — the
+// sweep engine's model axis.
+func GossipSpreadModel(n, fanout int, class topo.LinkClass, model netem.ModelKind, seed int64) (GossipPoint, error) {
 	k := sim.New(seed)
-	net := vnet.NewNetwork(k, nil, vnet.DefaultConfig())
+	ncfg := vnet.DefaultConfig()
+	ncfg.Model = model
+	net := vnet.NewNetwork(k, nil, ncfg)
 	cfg := gossip.DefaultConfig()
 	cfg.Fanout = fanout
 	var nodes []*gossip.Node

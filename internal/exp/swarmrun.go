@@ -15,6 +15,7 @@ import (
 	"repro/internal/bt"
 	"repro/internal/ip"
 	"repro/internal/metrics"
+	"repro/internal/netem"
 	"repro/internal/sim"
 	"repro/internal/topo"
 	"repro/internal/virt"
@@ -33,7 +34,10 @@ type SwarmParams struct {
 	Folding int
 	// PhysNodes overrides the computed physical node count.
 	PhysNodes int
-	Seed      int64
+	// Model selects pipe-level (default) or flow-level link emulation
+	// for the whole experiment.
+	Model netem.ModelKind
+	Seed  int64
 	// Horizon caps the experiment's virtual time.
 	Horizon time.Duration
 }
@@ -136,7 +140,9 @@ func RunSwarm(sp SwarmParams) (*SwarmOutcome, error) {
 		}
 		fabric = cluster
 	}
-	net := vnet.NewNetwork(k, fabric, vnet.DefaultConfig())
+	ncfg := vnet.DefaultConfig()
+	ncfg.Model = sp.Model
+	net := vnet.NewNetwork(k, fabric, ncfg)
 
 	trackerHost, err := net.AddHostClass(ip.MustParseAddr("10.250.0.1"), topo.LAN)
 	if err != nil {

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/netem"
 	"repro/internal/sched"
 	"repro/internal/topo"
 )
@@ -49,9 +50,10 @@ var Experiments = []Experiment{ExpSwarm, ExpChurn, ExpDHT, ExpGossip, ExpSched}
 // expansion is guaranteed exhaustive and duplicate-free.
 type Grid struct {
 	Experiment Experiment
-	Peers      []int            // population sizes (clients / ring size / processes)
-	Churn      []float64        // churn fractions in [0,1); swarm-family only
-	Classes    []topo.LinkClass // access-link classes
+	Peers      []int             // population sizes (clients / ring size / processes)
+	Churn      []float64         // churn fractions in [0,1); swarm-family only
+	Classes    []topo.LinkClass  // access-link classes
+	Models     []netem.ModelKind // link-emulation models (pipe, flow)
 	Seeds      []int64
 
 	// Knobs held constant across the grid.
@@ -68,6 +70,7 @@ type Cell struct {
 	Peers      int
 	Churn      float64
 	Class      topo.LinkClass
+	Model      netem.ModelKind
 	Seed       int64
 
 	fileSize int
@@ -78,8 +81,8 @@ type Cell struct {
 
 // String identifies the cell in logs and errors.
 func (c Cell) String() string {
-	return fmt.Sprintf("%s[peers=%d churn=%g class=%s seed=%d]",
-		c.Experiment, c.Peers, c.Churn, c.Class.Name, c.Seed)
+	return fmt.Sprintf("%s[peers=%d churn=%g class=%s model=%s seed=%d]",
+		c.Experiment, c.Peers, c.Churn, c.Class.Name, c.Model, c.Seed)
 }
 
 // usesChurnAxis reports whether the experiment reads the churn axis.
@@ -88,8 +91,12 @@ func (e Experiment) usesChurnAxis() bool { return e == ExpSwarm || e == ExpChurn
 // usesClassAxis reports whether the experiment reads the class axis.
 func (e Experiment) usesClassAxis() bool { return e != ExpSched }
 
+// usesModelAxis reports whether the experiment reads the link-model
+// axis (every vnet-based family does; sched has no network).
+func (e Experiment) usesModelAxis() bool { return e != ExpSched }
+
 // Cells expands the grid into its cells, in row-major grid order
-// (peers, then churn, then class, then seed). It rejects repeated axis
+// (peers, then churn, then class, then model, then seed). It rejects repeated axis
 // values and multi-valued axes the experiment ignores — both would
 // produce duplicate cells, and a sweep must be exhaustive and
 // duplicate-free.
@@ -124,6 +131,10 @@ func (g Grid) Cells() ([]Cell, error) {
 	if len(classes) == 0 {
 		classes = []topo.LinkClass{topo.DSL}
 	}
+	models := g.Models
+	if len(models) == 0 {
+		models = []netem.ModelKind{netem.ModelPipe}
+	}
 	seeds := g.Seeds
 	if len(seeds) == 0 {
 		seeds = []int64{1}
@@ -134,6 +145,16 @@ func (g Grid) Cells() ([]Cell, error) {
 	}
 	if !exp.usesClassAxis() && len(classes) > 1 {
 		return nil, fmt.Errorf("exp: %s ignores the class axis; %d values would duplicate cells", exp, len(classes))
+	}
+	if !exp.usesModelAxis() && len(models) > 1 {
+		return nil, fmt.Errorf("exp: %s ignores the model axis; %d values would duplicate cells", exp, len(models))
+	}
+	seenModel := map[netem.ModelKind]bool{}
+	for _, mdl := range models {
+		if seenModel[mdl] {
+			return nil, fmt.Errorf("exp: duplicate model axis value %q", mdl)
+		}
+		seenModel[mdl] = true
 	}
 	if err := distinctInts("peers", peers); err != nil {
 		return nil, err
@@ -182,13 +203,15 @@ func (g Grid) Cells() ([]Cell, error) {
 	for _, p := range peers {
 		for _, ch := range churns {
 			for _, cl := range classes {
-				for _, s := range seeds {
-					cells = append(cells, Cell{
-						Index: len(cells), Experiment: exp,
-						Peers: p, Churn: ch, Class: cl, Seed: s,
-						fileSize: fileSize, lookups: lookups,
-						fanout: fanout, horizon: horizon,
-					})
+				for _, mdl := range models {
+					for _, s := range seeds {
+						cells = append(cells, Cell{
+							Index: len(cells), Experiment: exp,
+							Peers: p, Churn: ch, Class: cl, Model: mdl, Seed: s,
+							fileSize: fileSize, lookups: lookups,
+							fanout: fanout, horizon: horizon,
+						})
+					}
 				}
 			}
 		}
@@ -349,6 +372,7 @@ func RunCell(c Cell) (*metrics.Snapshot, error) {
 	snap.Label("peers", fmt.Sprintf("%d", c.Peers))
 	snap.Label("churn", fmt.Sprintf("%g", c.Churn))
 	snap.Label("class", c.Class.Name)
+	snap.Label("model", c.Model.String())
 	snap.Label("seed", fmt.Sprintf("%d", c.Seed))
 
 	var err error
@@ -385,6 +409,7 @@ func runSwarmCell(c Cell, snap *metrics.Snapshot) error {
 		FileSize:      int64(c.fileSize),
 		StartInterval: 2 * time.Second,
 		Class:         c.Class,
+		Model:         c.Model,
 		Seed:          c.Seed,
 		Horizon:       c.horizon,
 	})
@@ -421,6 +446,7 @@ func runChurnCell(c Cell, snap *metrics.Snapshot) error {
 		ChurnFraction: c.Churn,
 		Session:       DefaultChurnSwarmParams().Session,
 		Downtime:      DefaultChurnSwarmParams().Downtime,
+		Model:         c.Model,
 		Seed:          c.Seed,
 		Horizon:       c.horizon,
 	})
@@ -439,7 +465,7 @@ func runChurnCell(c Cell, snap *metrics.Snapshot) error {
 }
 
 func runDHTCell(c Cell, snap *metrics.Snapshot) error {
-	pt, err := DHTRing(c.Peers, c.lookups, c.Class, c.Seed)
+	pt, err := DHTRingModel(c.Peers, c.lookups, c.Class, c.Model, c.Seed)
 	if err != nil {
 		return err
 	}
@@ -451,7 +477,7 @@ func runDHTCell(c Cell, snap *metrics.Snapshot) error {
 }
 
 func runGossipCell(c Cell, snap *metrics.Snapshot) error {
-	pt, err := GossipSpread(c.Peers, c.fanout, c.Class, c.Seed)
+	pt, err := GossipSpreadModel(c.Peers, c.fanout, c.Class, c.Model, c.Seed)
 	if err != nil {
 		return err
 	}

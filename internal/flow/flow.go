@@ -1,0 +1,419 @@
+// Package flow implements a flow-level max-min fair bandwidth-sharing
+// link model — the contention-aware alternative to netem's Dummynet
+// pipe model.
+//
+// The pipe model charges each message against one pipe in isolation:
+// a thousand peers uploading through the same bottleneck never
+// contend, every transfer sees the full configured bandwidth. This
+// package models each in-flight transfer as a *fluid flow* over the
+// bandwidth-constrained pipes of its path and splits every pipe's
+// capacity among the flows crossing it by progressive filling (the
+// classic max-min fair allocation: repeatedly saturate the most
+// constrained link, freeze its flows at the fair share, and
+// redistribute the slack — an alternating rescale-to-constraints loop
+// in the spirit of iterative proportional fitting).
+//
+// The solver is *incremental*: flows and links form a bipartite graph,
+// and a flow arriving or finishing can only change the rates inside
+// its connected component of that graph. Only that component is
+// re-solved, and only the flows whose rate actually changed have their
+// completion events rescheduled (via sim.Event.Reschedule on the
+// calendar queue). Disjoint bottlenecks — separate clusters, separate
+// seeder uplinks — therefore cost nothing when traffic elsewhere
+// churns, which is what keeps thousand-flow experiments tractable.
+//
+// Model fidelity notes, recorded as DESIGN.md decision 5:
+//
+//   - A path's rate is bounded by the *minimum* constrained pipe, not
+//     the sum of per-hop serializations; a single-bottleneck path is
+//     byte-identical to the pipe model (the equivalence property test),
+//     a multi-constrained path is faster here than store-and-forward.
+//   - Loss and queue admission are evaluated once, at flow entry; the
+//     queue analog is the fluid backlog (sum of the remaining bytes of
+//     the flows already on the link). MTU-chunked pipes keep their
+//     packet-granularity loss (per-packet draws, all-must-survive) but
+//     are carried as one fluid flow, not store-and-forward chunks.
+//   - Jitter is drawn at entry, one draw per pipe in path order — the
+//     same draw sequence the pipe model makes for serialized traffic.
+package flow
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/netem"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// link is the fluid counterpart of one bandwidth-constrained pipe.
+type link struct {
+	id    uint64
+	pipe  *netem.Pipe
+	flows []*xfer // flows crossing the link, arrival order
+
+	// Solver scratch, valid only inside one resolve call.
+	residual float64 // capacity not yet granted to frozen flows
+	active   int     // unfrozen flows on the link
+	mark     uint64  // component-BFS epoch stamp
+}
+
+// remove deletes f preserving arrival order, so solver iteration order
+// (and therefore floating-point accumulation order) is a deterministic
+// function of the simulation history.
+func (l *link) remove(f *xfer) {
+	for i, g := range l.flows {
+		if g == f {
+			l.flows = append(l.flows[:i], l.flows[i+1:]...)
+			return
+		}
+	}
+}
+
+// backlogAt returns the fluid backlog: bytes still to be carried for
+// the flows currently on the link, drained to instant now.
+func (l *link) backlogAt(now sim.Time) int64 {
+	var bits float64
+	for _, f := range l.flows {
+		if r := f.remainingAt(now); r > 0 {
+			bits += r
+		}
+	}
+	return int64(bits / 8)
+}
+
+// xfer is one in-flight transfer.
+type xfer struct {
+	id        uint64
+	links     []*link // constrained pipes of the path, deduplicated
+	remaining float64 // bits left to carry, as of ratedAt
+	rate      float64 // bits/sec currently allotted; <0 = not yet rated
+	ratedAt   sim.Time
+	prop      time.Duration // propagation + jitter appended after completion
+	ev        *sim.Event    // pending completion
+	done      func(exit sim.Time, ok bool)
+
+	mark    uint64  // component-BFS epoch stamp
+	newRate float64 // solver scratch; <0 = not yet frozen
+}
+
+// remainingAt returns the bits left at instant now without settling.
+func (f *xfer) remainingAt(now sim.Time) float64 {
+	r := f.remaining
+	if f.rate > 0 {
+		r -= f.rate * now.Sub(f.ratedAt).Seconds()
+	}
+	return r
+}
+
+// Stats counts engine activity. SolvedFlows / (Started + Completed) is
+// the average component size touched per churn event — the
+// incrementality measure the churn benchmark tracks.
+type Stats struct {
+	Started     uint64 // flows admitted
+	Completed   uint64 // flows delivered
+	Lost        uint64 // dropped by per-pipe random loss at entry
+	Overflows   uint64 // dropped by fluid queue admission at entry
+	Solves      uint64 // component re-solves
+	SolvedFlows uint64 // flows visited across all re-solves
+	Rerates     uint64 // rate assignments applied (incl. initial)
+}
+
+// Model is the flow-level engine. It implements netem.LinkModel; use
+// it by setting vnet.Config.Model = netem.ModelFlow, or construct one
+// directly with New for engine-level experiments.
+type Model struct {
+	k          *sim.Kernel
+	links      map[*netem.Pipe]*link
+	nextFlowID uint64
+	nextLinkID uint64
+	epoch      uint64
+	tracer     *trace.Log
+	stats      Stats
+
+	// Component scratch, reused across resolves.
+	compLinks []*link
+	compFlows []*xfer
+}
+
+// New returns an empty flow engine on kernel k.
+func New(k *sim.Kernel) *Model {
+	return &Model{k: k, links: make(map[*netem.Pipe]*link)}
+}
+
+// SetTrace attaches an event log: every rate change is recorded under
+// the "net.flow" category, so re-allocations are observable on the
+// virtual timeline like any other event.
+func (m *Model) SetTrace(l *trace.Log) { m.tracer = l }
+
+// Stats returns a snapshot of the engine counters.
+func (m *Model) Stats() Stats { return m.stats }
+
+// InFlight returns the number of active flows.
+func (m *Model) InFlight() int {
+	n := uint64(0)
+	if m.stats.Started > m.stats.Completed {
+		n = m.stats.Started - m.stats.Completed
+	}
+	return int(n)
+}
+
+// linkFor returns (creating on first use) the fluid link of a pipe.
+func (m *Model) linkFor(p *netem.Pipe) *link {
+	l := m.links[p]
+	if l == nil {
+		m.nextLinkID++
+		l = &link{id: m.nextLinkID, pipe: p}
+		m.links[p] = l
+	}
+	return l
+}
+
+// Transfer implements netem.LinkModel: admit the message (loss and
+// fluid-queue checks per pipe, in path order), then run it as a flow
+// over the path's constrained pipes. A path with no constrained pipe
+// completes synchronously after pure propagation, mirroring the pipe
+// model's inline fast path.
+func (m *Model) Transfer(at sim.Time, size int, path []*netem.Pipe, rng *rand.Rand, done func(sim.Time, bool)) {
+	var prop time.Duration
+	var links []*link
+	for _, p := range path {
+		cfg := p.Config()
+		if cfg.Loss > 0 {
+			// Packet-granularity pipes (MTU > 0) test each of the
+			// ⌈size/MTU⌉ packets independently and the message survives
+			// only if every packet does, matching Pipe.schedulePackets
+			// (which also keeps drawing after a lost packet).
+			lost := false
+			if cfg.MTU > 0 && size > cfg.MTU {
+				for sent := 0; sent < size; sent += cfg.MTU {
+					if rng.Float64() < cfg.Loss {
+						lost = true
+					}
+				}
+			} else {
+				lost = rng.Float64() < cfg.Loss
+			}
+			if lost {
+				m.stats.Lost++
+				p.AccountDrop(false)
+				done(0, false)
+				return
+			}
+		}
+		if cfg.Bandwidth > 0 && cfg.QueueBytes > 0 {
+			if l := m.links[p]; l != nil && l.backlogAt(at)+int64(size) > cfg.QueueBytes {
+				m.stats.Overflows++
+				p.AccountDrop(true)
+				done(0, false)
+				return
+			}
+		}
+		prop += cfg.Delay
+		if cfg.Jitter > 0 {
+			prop += time.Duration(rng.Int63n(int64(cfg.Jitter)))
+		}
+		if cfg.Bandwidth > 0 {
+			l := m.linkFor(p)
+			dup := false
+			for _, seen := range links {
+				if seen == l {
+					dup = true // a pipe listed twice constrains the flow once
+					break
+				}
+			}
+			if !dup {
+				links = append(links, l)
+			}
+		}
+	}
+	for _, p := range path {
+		p.AccountTransfer(size)
+	}
+	if len(links) == 0 {
+		done(at.Add(prop), true)
+		return
+	}
+	m.nextFlowID++
+	f := &xfer{
+		id:        m.nextFlowID,
+		links:     links,
+		remaining: float64(int64(size) * 8),
+		rate:      -1,
+		newRate:   -1,
+		ratedAt:   at,
+		prop:      prop,
+		done:      done,
+	}
+	for _, l := range links {
+		l.flows = append(l.flows, f)
+	}
+	m.stats.Started++
+	m.resolve(at, links)
+}
+
+// complete fires when a flow's last byte is carried: detach it,
+// re-solve the component it leaves behind (its peers speed up), and
+// deliver after the accumulated propagation.
+func (m *Model) complete(f *xfer) {
+	now := m.k.Now()
+	f.ev = nil
+	for _, l := range f.links {
+		l.remove(f)
+	}
+	m.stats.Completed++
+	if m.tracer != nil {
+		m.tracer.Add(now, "net.flow", f.links[0].pipe.Name(), "flow %d done", f.id)
+	}
+	m.resolve(now, f.links)
+	f.done(now.Add(f.prop), true)
+}
+
+// resolve recomputes the max-min fair allocation of the connected
+// component containing the seed links, by progressive filling, and
+// applies the result. Links and flows outside the component are never
+// visited.
+func (m *Model) resolve(now sim.Time, seeds []*link) {
+	m.stats.Solves++
+
+	// Component discovery: BFS over the links↔flows bipartite graph.
+	// Epoch stamps avoid clearing; traversal order (seed order, then
+	// each link's arrival-ordered flow list) is deterministic.
+	links := m.compLinks[:0]
+	flows := m.compFlows[:0]
+	m.epoch++
+	ep := m.epoch
+	for _, l := range seeds {
+		if l.mark != ep {
+			l.mark = ep
+			links = append(links, l)
+		}
+	}
+	for i := 0; i < len(links); i++ {
+		for _, f := range links[i].flows {
+			if f.mark == ep {
+				continue
+			}
+			f.mark = ep
+			flows = append(flows, f)
+			for _, l2 := range f.links {
+				if l2.mark != ep {
+					l2.mark = ep
+					links = append(links, l2)
+				}
+			}
+		}
+	}
+	m.compLinks, m.compFlows = links, flows // keep grown capacity
+	m.stats.SolvedFlows += uint64(len(flows))
+	if len(flows) == 0 {
+		return
+	}
+
+	// Progressive filling: find the most constrained link (smallest
+	// fair share among links with unfrozen flows), freeze its flows at
+	// that share, subtract the share from every link they cross,
+	// repeat. Each iteration saturates at least one link, so the loop
+	// runs at most len(links) times.
+	for _, l := range links {
+		l.residual = float64(l.pipe.Config().Bandwidth)
+		l.active = len(l.flows)
+	}
+	for _, f := range flows {
+		f.newRate = -1
+	}
+	unfrozen := len(flows)
+	for unfrozen > 0 {
+		var bott *link
+		var share float64
+		for _, l := range links {
+			if l.active == 0 {
+				continue
+			}
+			if s := l.residual / float64(l.active); bott == nil || s < share {
+				bott, share = l, s
+			}
+		}
+		if bott == nil {
+			break // unreachable: every flow crosses at least one link
+		}
+		if share < 0 {
+			share = 0 // clamp float underflow of a saturated residual
+		}
+		for _, f := range bott.flows {
+			if f.newRate >= 0 {
+				continue
+			}
+			f.newRate = share
+			unfrozen--
+			for _, l2 := range f.links {
+				l2.residual -= share
+				l2.active--
+			}
+		}
+	}
+
+	m.apply(now, flows)
+}
+
+// apply settles and reschedules every component flow whose allocation
+// changed. A flow whose recomputed rate is bit-identical keeps its
+// pending completion event untouched — together with component scoping
+// this is what makes churn cost proportional to the affected
+// bottleneck, not the population.
+func (m *Model) apply(now sim.Time, flows []*xfer) {
+	for _, f := range flows {
+		if f.newRate == f.rate {
+			continue
+		}
+		if f.rate > 0 {
+			f.remaining -= f.rate * now.Sub(f.ratedAt).Seconds()
+			if f.remaining < 0 {
+				f.remaining = 0
+			}
+		}
+		old := f.rate
+		f.rate = f.newRate
+		f.ratedAt = now
+		at := now.Add(durBits(f.remaining, f.rate))
+		if f.ev == nil {
+			ff := f
+			f.ev = m.k.At(at, func() { m.complete(ff) })
+		} else {
+			f.ev.Reschedule(at)
+		}
+		m.stats.Rerates++
+		if m.tracer != nil {
+			if old < 0 {
+				m.tracer.Add(now, "net.flow", f.links[0].pipe.Name(),
+					"flow %d start %.0f bps over %d link(s)", f.id, f.rate, len(f.links))
+			} else {
+				m.tracer.Add(now, "net.flow", f.links[0].pipe.Name(),
+					"flow %d rerate %.0f -> %.0f bps", f.id, old, f.rate)
+			}
+		}
+	}
+}
+
+// maxDur bounds a completion delay so a degenerate zero rate schedules
+// far-future instead of overflowing the timeline.
+const maxDur = time.Duration(math.MaxInt64 / 4)
+
+// durBits returns the time to carry bits at rate bits/sec. The
+// expression matches netem's Pipe.serialization exactly, which is what
+// makes an uncontended single-bottleneck flow byte-identical to the
+// pipe model.
+func durBits(bits, rate float64) time.Duration {
+	if bits <= 0 {
+		return 0
+	}
+	if rate <= 0 {
+		return maxDur
+	}
+	s := bits / rate * float64(time.Second)
+	if s >= float64(maxDur) {
+		return maxDur
+	}
+	return time.Duration(s)
+}

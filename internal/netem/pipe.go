@@ -187,6 +187,28 @@ func (p *Pipe) schedulePackets(at sim.Time, size int, rng *rand.Rand) (sim.Time,
 	return exit.Add(p.propagation(rng)), true
 }
 
+// AccountTransfer records a message accepted by an external link model
+// (the flow engine schedules traffic itself, off the pipe's cursor),
+// keeping Messages/Bytes — and therefore Utilization — meaningful
+// under either model. Note a flow-model drop charges no pipe at all,
+// whereas the pipe model counts a mid-path casualty on the pipes it
+// already traversed; Backlog likewise stays zero under the flow model
+// (the fluid backlog lives in flow.Model).
+func (p *Pipe) AccountTransfer(size int) {
+	p.stats.Messages++
+	p.stats.Bytes += uint64(size)
+}
+
+// AccountDrop records a message dropped by an external link model,
+// against either the overflow or the random-loss counter.
+func (p *Pipe) AccountDrop(overflow bool) {
+	if overflow {
+		p.stats.Overflows++
+	} else {
+		p.stats.Lost++
+	}
+}
+
 // Utilization returns the fraction of the interval [from, to] during
 // which the serializer was busy, computed from accepted bytes. It is an
 // aggregate measure, not a per-instant one.

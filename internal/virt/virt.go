@@ -16,6 +16,14 @@
 // shaped exactly once while the rule table keeps the paper's size and
 // linear evaluation cost (two rules per hosted virtual node plus one
 // rule per reachable group pair).
+//
+// The fabric is link-model agnostic: the NIC and CPU pipes it adds to
+// each route are charged by whichever model the network was built with
+// (vnet.Config.Model). Under the flow model the shared physical NIC
+// becomes a genuine contention point — virtual nodes folded onto one
+// physical node split its capacity max-min fair instead of queueing
+// FIFO — which is what makes oversubscribed-cluster studies
+// meaningful (see TestClusterNICSharing).
 package virt
 
 import (

@@ -38,6 +38,10 @@ func (h *Host) Network() *Network { return h.net }
 func (h *Host) UpPipe() *netem.Pipe   { return h.up }
 func (h *Host) DownPipe() *netem.Pipe { return h.down }
 
+// LinkModel returns the link model carrying this host's traffic — the
+// network-wide model chosen by Config.Model.
+func (h *Host) LinkModel() netem.LinkModel { return h.net.model }
+
 // Meter returns the host's syscall meter (counts and accumulated cost).
 func (h *Host) Meter() *SyscallMeter { return &h.meter }
 

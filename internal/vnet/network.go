@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/flow"
 	"repro/internal/ip"
 	"repro/internal/netem"
 	"repro/internal/sim"
@@ -86,6 +87,12 @@ type Config struct {
 	// HeaderBytes is the per-message wire overhead added to payload
 	// sizes (TCP/IP header equivalent).
 	HeaderBytes int
+	// Model selects the link-emulation model for every message path:
+	// netem.ModelPipe (the zero value, Dummynet-style per-pipe
+	// charging) or netem.ModelFlow (max-min fair bandwidth sharing
+	// across concurrent transfers; see repro/internal/flow). One
+	// option flips a whole experiment between the two.
+	Model netem.ModelKind
 }
 
 // DefaultConfig returns the standard configuration.
@@ -105,6 +112,7 @@ type Network struct {
 	k      *sim.Kernel
 	fabric Fabric
 	cfg    Config
+	model  netem.LinkModel
 	hosts  map[ip.Addr]*Host
 	order  []*Host // deterministic iteration
 	nextID uint64  // connection ids
@@ -114,9 +122,15 @@ type Network struct {
 }
 
 // SetTrace attaches an event log: every transmitted and delivered
-// message is recorded ("net.send", "net.deliver", "net.drop"). Tracing
-// large swarms is expensive; prefer a bounded log.
-func (n *Network) SetTrace(l *trace.Log) { n.tracer = l }
+// message is recorded ("net.send", "net.deliver", "net.drop"), and a
+// flow-model network additionally records rate changes ("net.flow").
+// Tracing large swarms is expensive; prefer a bounded log.
+func (n *Network) SetTrace(l *trace.Log) {
+	n.tracer = l
+	if t, ok := n.model.(interface{ SetTrace(*trace.Log) }); ok {
+		t.SetTrace(l)
+	}
+}
 
 // NetworkStats aggregates network-wide counters.
 type NetworkStats struct {
@@ -129,12 +143,33 @@ type NetworkStats struct {
 
 // NewNetwork creates a network on kernel k. fabric may be nil.
 func NewNetwork(k *sim.Kernel, fabric Fabric, cfg Config) *Network {
+	var model netem.LinkModel
+	switch cfg.Model {
+	case netem.ModelFlow:
+		model = flow.New(k)
+	default:
+		model = netem.NewPipeModel(k)
+	}
 	return &Network{
 		k:      k,
 		fabric: fabric,
 		cfg:    cfg,
+		model:  model,
 		hosts:  make(map[ip.Addr]*Host),
 	}
+}
+
+// LinkModel returns the network's link model; a flow-model network
+// returns the *flow.Model, whose Stats expose sharing activity.
+func (n *Network) LinkModel() netem.LinkModel { return n.model }
+
+// FlowStats returns the flow engine's counters and true when the
+// network runs the flow model, or a zero value and false otherwise.
+func (n *Network) FlowStats() (flow.Stats, bool) {
+	if fm, ok := n.model.(*flow.Model); ok {
+		return fm.Stats(), true
+	}
+	return flow.Stats{}, false
 }
 
 // Kernel returns the kernel the network runs on.
@@ -254,15 +289,12 @@ func (n *Network) transmit(src *Host, m message, reliable bool) bool {
 	return true
 }
 
-// attempt runs one transmission attempt starting at instant start.
-//
-// Pipes are charged hop by hop, each at the message's true arrival
-// instant (via an event), never earlier. This matters for pipes shared
-// across flows (the physical node's NIC in the folded deployments):
-// charging the whole path eagerly at send time would update shared
-// cursors in *send* order rather than *arrival* order, and the ~seconds
-// of queueing jitter on access links ahead of them would turn into
-// spurious queueing delay for later-arriving messages.
+// attempt runs one transmission attempt starting at instant start: the
+// configured link model carries the message over the path (sender
+// up-link, fabric pipes, receiver down-link), then the fixed route
+// latency applies and the message is delivered. A dropped attempt of a
+// reliable message retries with exponential backoff from the attempt's
+// start instant.
 func (n *Network) attempt(src, dst *Host, m message, route Route, tries int, start sim.Time, reliable bool) {
 	size := m.wireSize(&n.cfg)
 	pipes := make([]*netem.Pipe, 0, 2+len(route.Pipes))
@@ -270,45 +302,27 @@ func (n *Network) attempt(src, dst *Host, m message, route Route, tries int, sta
 	pipes = append(pipes, route.Pipes...)
 	pipes = append(pipes, dst.down)
 
-	fail := func() {
-		if reliable && tries < n.cfg.MaxRetransmits {
-			n.stats.Retransmits++
-			retryAt := start.Add(n.cfg.RTO * (1 << uint(tries)))
-			n.k.At(retryAt, func() {
-				n.attempt(src, dst, m, route, tries+1, n.k.Now(), reliable)
-			})
-			return
-		}
-		n.stats.MessagesDropped++
-	}
-
-	var hop func(i int, at sim.Time)
-	hop = func(i int, at sim.Time) {
-		if i == len(pipes) {
-			n.k.At(at.Add(route.Latency), func() {
-				n.stats.MessagesDelivered++
-				n.stats.BytesDelivered += uint64(size)
-				if n.tracer != nil {
-					n.tracer.Add(n.k.Now(), "net.deliver", m.dst.Addr.String(),
-						"%d B from %v", size, m.src)
-				}
-				dst.deliver(m)
-			})
-			return
-		}
-		exit, ok := pipes[i].ScheduleAt(at, size, n.k.Rand())
+	n.model.Transfer(start, size, pipes, n.k.Rand(), func(exit sim.Time, ok bool) {
 		if !ok {
-			fail()
+			if reliable && tries < n.cfg.MaxRetransmits {
+				n.stats.Retransmits++
+				retryAt := start.Add(n.cfg.RTO * (1 << uint(tries)))
+				n.k.At(retryAt, func() {
+					n.attempt(src, dst, m, route, tries+1, n.k.Now(), reliable)
+				})
+				return
+			}
+			n.stats.MessagesDropped++
 			return
 		}
-		if exit == at {
-			hop(i+1, exit) // unconstrained pipe: continue inline
-			return
-		}
-		n.k.At(exit, func() { hop(i+1, exit) })
-	}
-	// The first hop is the sender's own up-link: its messages are
-	// charged in send order by construction, so charging it inline at
-	// start (≤ µs ahead of now, the firewall-cost offset) is exact.
-	hop(0, start)
+		n.k.At(exit.Add(route.Latency), func() {
+			n.stats.MessagesDelivered++
+			n.stats.BytesDelivered += uint64(size)
+			if n.tracer != nil {
+				n.tracer.Add(n.k.Now(), "net.deliver", m.dst.Addr.String(),
+					"%d B from %v", size, m.src)
+			}
+			dst.deliver(m)
+		})
+	})
 }
