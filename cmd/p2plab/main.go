@@ -1,6 +1,7 @@
 // Command p2plab regenerates any table or figure of the paper and
-// writes gnuplot-compatible .dat files plus a text summary, and runs
-// parameter-grid sweeps across the experiment families.
+// writes gnuplot-compatible .dat files plus a text summary, runs
+// parameter-grid sweeps across the experiment families, and runs named
+// scenarios from the committed corpus.
 //
 // Usage:
 //
@@ -9,6 +10,10 @@
 //	p2plab -fig all -out results/
 //	p2plab sweep -exp dht -peers 8,16,32 -class lan,dsl -seeds 1,2,3
 //	p2plab sweep -exp swarm -peers 8,16 -churn 0,0.3 -workers 4 -out results/
+//	p2plab sweep -exp scenario -scenario flash-crowd,churn-storm -seeds 1,2
+//	p2plab list                      # the scenario catalogue
+//	p2plab run transatlantic-partition-heal
+//	p2plab run -spec my-scenario.json -trace 40
 //
 // Figure ids: 1, 2, 3, bind, 6, 6x (indexed ablation), 7, 8, 9, 10, 11.
 package main
@@ -27,11 +32,24 @@ import (
 )
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "sweep" {
-		if err := sweepMain(os.Args[2:]); err != nil {
-			fatal(err)
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "sweep":
+			if err := sweepMain(os.Args[2:]); err != nil {
+				fatal(err)
+			}
+			return
+		case "run":
+			if err := runMain(os.Args[2:]); err != nil {
+				fatal(err)
+			}
+			return
+		case "list":
+			if err := listMain(os.Args[2:]); err != nil {
+				fatal(err)
+			}
+			return
 		}
-		return
 	}
 	fig := flag.String("fig", "all", "figure to regenerate (1,2,3,bind,6,6x,7,8,9,10,11,all)")
 	out := flag.String("out", "results", "output directory for .dat and .txt files")

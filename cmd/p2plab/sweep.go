@@ -20,11 +20,12 @@ import (
 // merged aggregate table and write per-cell results as CSV.
 func sweepMain(args []string) error {
 	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
-	expName := fs.String("exp", "swarm", "experiment family (swarm, churn, dht, gossip, sched)")
+	expName := fs.String("exp", "swarm", "experiment family (swarm, churn, dht, gossip, sched, scenario)")
 	peers := fs.String("peers", "", "comma-separated population sizes (default: experiment-specific)")
 	churn := fs.String("churn", "", "comma-separated churn fractions in [0,1)")
 	classes := fs.String("class", "", "comma-separated link classes (dsl, modem, slow-dsl, fast-dsl, campus, office, lan)")
 	models := fs.String("model", "", "comma-separated link models (pipe, flow)")
+	scenarios := fs.String("scenario", "", "comma-separated corpus scenario names (scenario experiment; default: all)")
 	seeds := fs.String("seeds", "", "comma-separated random seeds")
 	workers := fs.Int("workers", 0, "worker pool size (default: one per CPU)")
 	fileSize := fs.Int("file-size", 0, "swarm file size in bytes (default 2 MiB)")
@@ -59,6 +60,7 @@ func sweepMain(args []string) error {
 	if g.Models, err = parseModels(*models); err != nil {
 		return fmt.Errorf("-model: %w", err)
 	}
+	g.Scenarios = splitList(*scenarios)
 
 	cells, err := g.Cells()
 	if err != nil {

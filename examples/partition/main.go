@@ -1,0 +1,123 @@
+// Command partition walks through the scenario subsystem's flagship
+// capability: time-varying network conditions. It runs the corpus
+// scenario "transatlantic-partition-heal" — a BitTorrent swarm spread
+// over two DSL continents whose ocean link partitions mid-download and
+// heals three minutes later — twice: once as committed, once with the
+// timeline stripped. The side with the seeders barely notices; the
+// seederless side stalls for the whole partition (its peers keep
+// retrying with backoff, then re-announce after the heal) and the
+// swarm's last completion moves by minutes. Per-group completion
+// percentiles make the asymmetry visible.
+//
+// Run with -trace to watch the partition and heal land on the virtual
+// timeline between the net.send/net.drop records they cause.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/scenario"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func main() {
+	showTrace := flag.Bool("trace", false, "print the scenario/partition trace events")
+	seed := flag.Int64("seed", 0, "override the scenario seed")
+	flag.Parse()
+
+	sp, ok := scenario.ByName("transatlantic-partition-heal")
+	if !ok {
+		fmt.Fprintln(os.Stderr, "partition: corpus scenario missing")
+		os.Exit(1)
+	}
+
+	healthy := sp
+	healthy.Timeline = nil
+	base, err := run(&healthy, *seed, false)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "partition:", err)
+		os.Exit(1)
+	}
+	cut, err := run(&sp, *seed, *showTrace)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "partition:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("\nlast completion moved %v -> %v: the partition cost the swarm %v\n",
+		lastCompletion(base), lastCompletion(cut),
+		(lastCompletion(cut) - lastCompletion(base)).Round(time.Second))
+}
+
+func run(sp *scenario.Spec, seed int64, showTrace bool) (*scenario.Result, error) {
+	label := "with partition"
+	if len(sp.Timeline) == 0 {
+		label = "no partition"
+	}
+	var lg *trace.Log
+	opt := scenario.Options{Seed: seed}
+	if showTrace {
+		lg = trace.New(0)
+		opt.Trace = lg
+	}
+	res, err := scenario.Run(sp, opt)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("== %s: %d/%d clients done, ended %v ==\n",
+		label, res.Done, res.Total, res.EndedAt.Sub(0).Round(time.Second))
+
+	// Per-group completion spread: clients are created group by group
+	// (america then europe), seeders first — so the completions slice
+	// splits at the group boundary minus the seeders.
+	perGroup := map[string][]time.Duration{}
+	idx := 0
+	for _, g := range sp.Groups {
+		n := g.Nodes
+		if g.Name == sp.Workload.SeederGroup {
+			n -= sp.Workload.Seeders // seeders are not in Completions
+		}
+		for i := 0; i < n && idx < len(res.Completions); i, idx = i+1, idx+1 {
+			if c := res.Completions[idx]; c > 0 {
+				perGroup[g.Name] = append(perGroup[g.Name], c.Sub(0))
+			}
+		}
+	}
+	for _, g := range sp.Groups {
+		ds := perGroup[g.Name]
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		if len(ds) == 0 {
+			fmt.Printf("   %-10s no completions\n", g.Name)
+			continue
+		}
+		fmt.Printf("   %-10s %2d done   median %8v   last %8v\n",
+			g.Name, len(ds), ds[len(ds)/2].Round(time.Second), ds[len(ds)-1].Round(time.Second))
+	}
+
+	if lg != nil {
+		fmt.Println("   -- partition timeline --")
+		for _, e := range lg.Events() {
+			if strings.HasPrefix(e.Cat, "scenario.") || e.Cat == "net.partition" {
+				fmt.Printf("   %10s  %-16s %s\n", e.At, e.Cat, e.Msg)
+			}
+		}
+		fmt.Printf("   net.drop events: %d\n", lg.Count("net.drop"))
+	}
+	return res, nil
+}
+
+func lastCompletion(res *scenario.Result) time.Duration {
+	var last sim.Time
+	for _, c := range res.Completions {
+		if c > last {
+			last = c
+		}
+	}
+	return last.Sub(0)
+}

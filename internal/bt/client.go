@@ -2,6 +2,7 @@ package bt
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/ip"
@@ -562,13 +563,20 @@ func (c *Client) onPieceDone(p *sim.Proc, piece int) {
 	}
 	for _, pr := range c.peers {
 		pr.send(p, Msg{ID: MsgHave, Index: piece})
-		// Cancel endgame duplicates for this piece.
+		// Cancel endgame duplicates for this piece, in block order: the
+		// cancels are wire messages, so their send order must not
+		// depend on map iteration order.
+		var dups []blockKey
 		for bk := range pr.inflight {
 			if bk.piece == piece {
-				pr.send(p, Msg{ID: MsgCancel, Index: bk.piece, Begin: bk.begin, Length: c.meta.BlockSize(bk.piece, bk.begin/BlockLength)})
-				delete(pr.inflight, bk)
-				c.releaseRequest(bk)
+				dups = append(dups, bk)
 			}
+		}
+		sort.Slice(dups, func(i, j int) bool { return dups[i].begin < dups[j].begin })
+		for _, bk := range dups {
+			pr.send(p, Msg{ID: MsgCancel, Index: bk.piece, Begin: bk.begin, Length: c.meta.BlockSize(bk.piece, bk.begin/BlockLength)})
+			delete(pr.inflight, bk)
+			c.releaseRequest(bk)
 		}
 	}
 	if c.store.Bitfield().Complete() && !c.done {
@@ -718,12 +726,20 @@ func (c *Client) fillRequests(p *sim.Proc, pr *peer) {
 // picker, then endgame duplication.
 func (c *Client) nextBlock(pr *peer) (piece, begin, length int) {
 	have := c.store.Bitfield()
+	// Partial pieces in ascending index order: c.partials is a map and
+	// its iteration order is randomized per run, but block selection is
+	// trace-visible and must be deterministic for a fixed seed.
+	partials := make([]int, 0, len(c.partials))
+	for pi := range c.partials {
+		partials = append(partials, pi)
+	}
+	sort.Ints(partials)
 	// 1. Unrequested blocks of partial pieces the peer has.
-	for pi, pp := range c.partials {
+	for _, pi := range partials {
 		if !pr.bits.Has(pi) {
 			continue
 		}
-		if b := c.freeBlock(pi, pp, pr, 0); b >= 0 {
+		if b := c.freeBlock(pi, c.partials[pi], pr, 0); b >= 0 {
 			return pi, b * BlockLength, c.meta.BlockSize(pi, b)
 		}
 	}
@@ -750,11 +766,11 @@ func (c *Client) nextBlock(pr *peer) (piece, begin, length int) {
 		}
 	}
 	// 3. Endgame: duplicate outstanding blocks up to EndgameDup.
-	for pi, pp := range c.partials {
+	for _, pi := range partials {
 		if !pr.bits.Has(pi) {
 			continue
 		}
-		if b := c.freeBlock(pi, pp, pr, c.cfg.EndgameDup-1); b >= 0 {
+		if b := c.freeBlock(pi, c.partials[pi], pr, c.cfg.EndgameDup-1); b >= 0 {
 			return pi, b * BlockLength, c.meta.BlockSize(pi, b)
 		}
 	}

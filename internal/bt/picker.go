@@ -84,14 +84,16 @@ func (pk *Picker) ClearPartial(i int) { delete(pk.partial, i) }
 // peerHas is the candidate peer's; inFlight reports pieces already fully
 // requested. It returns -1 when the peer has nothing useful.
 func (pk *Picker) Pick(have, peerHas *Bitfield, inFlight func(int) bool) int {
-	// 1. Finish partial pieces first.
+	// 1. Finish partial pieces first. Ties on availability break to
+	// the lowest index: map iteration order is randomized per run and
+	// piece selection must be deterministic for a fixed seed.
 	best := -1
 	bestAvail := int(^uint(0) >> 1)
 	for i := range pk.partial {
 		if have.Has(i) || !peerHas.Has(i) || inFlight(i) {
 			continue
 		}
-		if pk.avail[i] < bestAvail {
+		if pk.avail[i] < bestAvail || (pk.avail[i] == bestAvail && i < best) {
 			best, bestAvail = i, pk.avail[i]
 		}
 	}

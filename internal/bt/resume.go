@@ -1,0 +1,59 @@
+package bt
+
+import (
+	"repro/internal/ip"
+	"repro/internal/sim"
+	"repro/internal/vnet"
+)
+
+// ResumingClient adapts one (host, storage) pair to a churn-driven
+// lifecycle: each Online starts a fresh Client resuming from the kept
+// storage, Offline stops the current incarnation abruptly (the peer
+// departs mid-transfer; storage survives). The Online/Offline methods
+// satisfy repro/internal/churn.Peer — both the E3 churn-swarm driver
+// (internal/exp) and the scenario runner (internal/scenario) drive
+// their churning populations through this adapter.
+type ResumingClient struct {
+	host    *vnet.Host
+	meta    *MetaInfo
+	store   Storage
+	tracker ip.Endpoint
+	cfg     ClientConfig
+	cur     *Client
+	done    bool
+}
+
+// NewResumingClient returns an offline resuming client; the first
+// Online call starts its first session.
+func NewResumingClient(host *vnet.Host, meta *MetaInfo, store Storage, tracker ip.Endpoint, cfg ClientConfig) *ResumingClient {
+	return &ResumingClient{host: host, meta: meta, store: store, tracker: tracker, cfg: cfg}
+}
+
+// Online implements churn.Peer: start a fresh client session resuming
+// from the kept storage. A still-running session is left alone
+// (session-overlap guard).
+func (rc *ResumingClient) Online(p *sim.Proc) {
+	if rc.cur != nil && !rc.cur.Stopped() {
+		return
+	}
+	c := NewClient(rc.host, rc.meta, rc.store, rc.tracker, rc.cfg)
+	c.OnComplete = func(*Client, sim.Time) { rc.done = true }
+	if rc.store.Bitfield().Complete() {
+		rc.done = true // resumed into completeness
+	}
+	rc.cur = c
+	c.Start()
+}
+
+// Offline implements churn.Peer: abrupt departure.
+func (rc *ResumingClient) Offline(p *sim.Proc) {
+	if rc.cur != nil {
+		rc.cur.Stop()
+	}
+}
+
+// Done reports whether the download has completed across sessions
+// (observed by a session, or present in the kept storage).
+func (rc *ResumingClient) Done() bool {
+	return rc.done || rc.store.Bitfield().Complete()
+}

@@ -61,39 +61,6 @@ type ChurnSwarmOutcome struct {
 	EndedAt        sim.Time
 }
 
-// churningClient adapts a (host, storage) pair to churn.Peer: each
-// Online starts a fresh bt.Client resuming from the shared storage.
-type churningClient struct {
-	host    *vnet.Host
-	meta    *bt.MetaInfo
-	store   bt.Storage
-	tracker ip.Endpoint
-	cfg     bt.ClientConfig
-	cur     *bt.Client
-	done    bool
-}
-
-// Online implements churn.Peer.
-func (cc *churningClient) Online(p *sim.Proc) {
-	if cc.cur != nil && !cc.cur.Stopped() {
-		return // still running (session overlap guard)
-	}
-	c := bt.NewClient(cc.host, cc.meta, cc.store, cc.tracker, cc.cfg)
-	c.OnComplete = func(*bt.Client, sim.Time) { cc.done = true }
-	if cc.store.Bitfield().Complete() {
-		cc.done = true // resumed into completeness
-	}
-	cc.cur = c
-	c.Start()
-}
-
-// Offline implements churn.Peer.
-func (cc *churningClient) Offline(p *sim.Proc) {
-	if cc.cur != nil {
-		cc.cur.Stop()
-	}
-}
-
 // RunChurnSwarm executes E3 and reports completion under churn.
 func RunChurnSwarm(cp ChurnSwarmParams) (*ChurnSwarmOutcome, error) {
 	k := sim.New(cp.Seed)
@@ -131,13 +98,10 @@ func RunChurnSwarm(cp ChurnSwarmParams) (*ChurnSwarmOutcome, error) {
 	}
 	trackerEP := ip.Endpoint{Addr: trackerHost.Addr(), Port: bt.TrackerPort}
 
-	churners := make([]*churningClient, len(churnHosts))
+	churners := make([]*bt.ResumingClient, len(churnHosts))
 	peers := make([]churn.Peer, len(churnHosts))
 	for i, h := range churnHosts {
-		churners[i] = &churningClient{
-			host: h, meta: swarm.Meta, store: bt.NewSparseStorage(swarm.Meta),
-			tracker: trackerEP, cfg: spec.Client,
-		}
+		churners[i] = bt.NewResumingClient(h, swarm.Meta, bt.NewSparseStorage(swarm.Meta), trackerEP, spec.Client)
 		peers[i] = churners[i]
 	}
 	driver := churn.NewDriver(k, churn.Config{
@@ -158,7 +122,7 @@ func RunChurnSwarm(cp ChurnSwarmParams) (*ChurnSwarmOutcome, error) {
 		for p.Now() < deadline {
 			all := true
 			for _, cc := range churners {
-				if !cc.done {
+				if !cc.Done() {
 					all = false
 					break
 				}
@@ -182,7 +146,7 @@ func RunChurnSwarm(cp ChurnSwarmParams) (*ChurnSwarmOutcome, error) {
 		}
 	}
 	for _, cc := range churners {
-		if cc.done || cc.store.Bitfield().Complete() {
+		if cc.Done() {
 			out.ChurnDone++
 		}
 	}

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/netem"
+	"repro/internal/scenario"
 	"repro/internal/sched"
 	"repro/internal/topo"
 )
@@ -39,10 +40,15 @@ const (
 	// ExpSched is the scheduler-suitability workload (Figs 1-3); it
 	// uses only the population and seed axes.
 	ExpSched Experiment = "sched"
+	// ExpScenario runs named scenarios from the committed corpus
+	// (repro/internal/scenario): the scenario axis replaces the
+	// peers/churn/class/model axes (the spec owns those), leaving the
+	// seed axis for replication.
+	ExpScenario Experiment = "scenario"
 )
 
 // Experiments lists the sweepable experiment families.
-var Experiments = []Experiment{ExpSwarm, ExpChurn, ExpDHT, ExpGossip, ExpSched}
+var Experiments = []Experiment{ExpSwarm, ExpChurn, ExpDHT, ExpGossip, ExpSched, ExpScenario}
 
 // Grid is a parameter grid. Cells() expands the cross product of the
 // axes; nil axes get a single experiment-appropriate default, so a
@@ -54,6 +60,7 @@ type Grid struct {
 	Churn      []float64         // churn fractions in [0,1); swarm-family only
 	Classes    []topo.LinkClass  // access-link classes
 	Models     []netem.ModelKind // link-emulation models (pipe, flow)
+	Scenarios  []string          // corpus scenario names; scenario experiment only
 	Seeds      []int64
 
 	// Knobs held constant across the grid.
@@ -71,6 +78,7 @@ type Cell struct {
 	Churn      float64
 	Class      topo.LinkClass
 	Model      netem.ModelKind
+	Scenario   string // scenario experiment only
 	Seed       int64
 
 	fileSize int
@@ -81,6 +89,9 @@ type Cell struct {
 
 // String identifies the cell in logs and errors.
 func (c Cell) String() string {
+	if c.Experiment == ExpScenario {
+		return fmt.Sprintf("%s[%s seed=%d]", c.Experiment, c.Scenario, c.Seed)
+	}
 	return fmt.Sprintf("%s[peers=%d churn=%g class=%s model=%s seed=%d]",
 		c.Experiment, c.Peers, c.Churn, c.Class.Name, c.Model, c.Seed)
 }
@@ -88,12 +99,17 @@ func (c Cell) String() string {
 // usesChurnAxis reports whether the experiment reads the churn axis.
 func (e Experiment) usesChurnAxis() bool { return e == ExpSwarm || e == ExpChurn }
 
+// usesPeersAxis reports whether the experiment reads the peers axis
+// (a scenario spec owns its own populations).
+func (e Experiment) usesPeersAxis() bool { return e != ExpScenario }
+
 // usesClassAxis reports whether the experiment reads the class axis.
-func (e Experiment) usesClassAxis() bool { return e != ExpSched }
+func (e Experiment) usesClassAxis() bool { return e != ExpSched && e != ExpScenario }
 
 // usesModelAxis reports whether the experiment reads the link-model
-// axis (every vnet-based family does; sched has no network).
-func (e Experiment) usesModelAxis() bool { return e != ExpSched }
+// axis (every vnet-based family does; sched has no network and a
+// scenario spec picks its own model).
+func (e Experiment) usesModelAxis() bool { return e != ExpSched && e != ExpScenario }
 
 // Cells expands the grid into its cells, in row-major grid order
 // (peers, then churn, then class, then model, then seed). It rejects repeated axis
@@ -139,7 +155,38 @@ func (g Grid) Cells() ([]Cell, error) {
 	if len(seeds) == 0 {
 		seeds = []int64{1}
 	}
+	scenarios := g.Scenarios
+	if exp == ExpScenario {
+		if len(scenarios) == 0 {
+			scenarios = scenario.Names() // default: the whole corpus
+		}
+		for _, s := range seeds {
+			// Seed 0 means "use the spec's own seed" (scenario.Options),
+			// so it would silently duplicate that seed's cell.
+			if s == 0 {
+				return nil, fmt.Errorf("exp: scenario sweeps need nonzero seeds (0 falls back to the spec's seed)")
+			}
+		}
+		seenScenario := map[string]bool{}
+		for _, name := range scenarios {
+			if _, ok := scenario.ByName(name); !ok {
+				return nil, fmt.Errorf("exp: unknown scenario %q (have %v)", name, scenario.Names())
+			}
+			if seenScenario[name] {
+				return nil, fmt.Errorf("exp: duplicate scenario axis value %q", name)
+			}
+			seenScenario[name] = true
+		}
+	} else {
+		if len(scenarios) > 0 {
+			return nil, fmt.Errorf("exp: %s ignores the scenario axis; %d values would duplicate cells", exp, len(scenarios))
+		}
+		scenarios = []string{""}
+	}
 
+	if !exp.usesPeersAxis() && len(peers) > 1 {
+		return nil, fmt.Errorf("exp: %s ignores the peers axis; %d values would duplicate cells", exp, len(peers))
+	}
 	if !exp.usesChurnAxis() && len(churns) > 1 {
 		return nil, fmt.Errorf("exp: %s ignores the churn axis; %d values would duplicate cells", exp, len(churns))
 	}
@@ -204,13 +251,16 @@ func (g Grid) Cells() ([]Cell, error) {
 		for _, ch := range churns {
 			for _, cl := range classes {
 				for _, mdl := range models {
-					for _, s := range seeds {
-						cells = append(cells, Cell{
-							Index: len(cells), Experiment: exp,
-							Peers: p, Churn: ch, Class: cl, Model: mdl, Seed: s,
-							fileSize: fileSize, lookups: lookups,
-							fanout: fanout, horizon: horizon,
-						})
+					for _, sc := range scenarios {
+						for _, s := range seeds {
+							cells = append(cells, Cell{
+								Index: len(cells), Experiment: exp,
+								Peers: p, Churn: ch, Class: cl, Model: mdl,
+								Scenario: sc, Seed: s,
+								fileSize: fileSize, lookups: lookups,
+								fanout: fanout, horizon: horizon,
+							})
+						}
 					}
 				}
 			}
@@ -369,10 +419,14 @@ func RunCell(c Cell) (*metrics.Snapshot, error) {
 	}
 	snap := metrics.NewSnapshot()
 	snap.Label("experiment", string(c.Experiment))
-	snap.Label("peers", fmt.Sprintf("%d", c.Peers))
-	snap.Label("churn", fmt.Sprintf("%g", c.Churn))
-	snap.Label("class", c.Class.Name)
-	snap.Label("model", c.Model.String())
+	if c.Experiment == ExpScenario {
+		snap.Label("scenario", c.Scenario)
+	} else {
+		snap.Label("peers", fmt.Sprintf("%d", c.Peers))
+		snap.Label("churn", fmt.Sprintf("%g", c.Churn))
+		snap.Label("class", c.Class.Name)
+		snap.Label("model", c.Model.String())
+	}
 	snap.Label("seed", fmt.Sprintf("%d", c.Seed))
 
 	var err error
@@ -389,6 +443,8 @@ func RunCell(c Cell) (*metrics.Snapshot, error) {
 		err = runGossipCell(c, snap)
 	case ExpSched:
 		err = runSchedCell(c, snap)
+	case ExpScenario:
+		err = runScenarioCell(c, snap)
 	default:
 		err = fmt.Errorf("unknown experiment %q", c.Experiment)
 	}
@@ -485,6 +541,28 @@ func runGossipCell(c Cell, snap *metrics.Snapshot) error {
 	snap.Set("t50-s", pt.T50.Seconds())
 	snap.Set("t100-s", pt.T100.Seconds())
 	snap.Count("pushes", pt.Pushes)
+	return nil
+}
+
+// runScenarioCell runs one corpus scenario under the cell's seed and
+// copies its workload metrics into the cell snapshot.
+func runScenarioCell(c Cell, snap *metrics.Snapshot) error {
+	sp, ok := scenario.ByName(c.Scenario)
+	if !ok {
+		return fmt.Errorf("unknown scenario %q", c.Scenario)
+	}
+	res, err := scenario.Run(&sp, scenario.Options{Seed: c.Seed})
+	if err != nil {
+		return err
+	}
+	snap.Label("workload", sp.Workload.Kind)
+	snap.Label("model", res.Model.String())
+	for k, v := range res.Snapshot.Values {
+		snap.Set(k, v)
+	}
+	for k, v := range res.Snapshot.Counters {
+		snap.Count(k, v)
+	}
 	return nil
 }
 

@@ -101,8 +101,8 @@ type xfer struct {
 // remainingAt returns the bits left at instant now without settling.
 func (f *xfer) remainingAt(now sim.Time) float64 {
 	r := f.remaining
-	if f.rate > 0 {
-		r -= f.rate * now.Sub(f.ratedAt).Seconds()
+	if el := now.Sub(f.ratedAt).Seconds(); f.rate > 0 && el > 0 {
+		r -= f.rate * el
 	}
 	return r
 }
@@ -168,6 +168,22 @@ func (m *Model) linkFor(p *netem.Pipe) *link {
 		m.links[p] = l
 	}
 	return l
+}
+
+// PipeReconfigured implements netem.ReconfigurableModel: after a
+// runtime change to p's configuration the fair shares of every flow in
+// p's connected component are stale, so the component is re-solved at
+// the current instant and re-rated flows get rescheduled completions.
+// The solver reads capacity from the pipe's live config, so no other
+// bookkeeping is needed; a pipe carrying no flows is a no-op. Rates
+// only ever apply from now forward — bytes already carried were settled
+// at the old rate — so completions never move into the virtual past.
+func (m *Model) PipeReconfigured(p *netem.Pipe) {
+	l := m.links[p]
+	if l == nil || len(l.flows) == 0 {
+		return
+	}
+	m.resolve(m.k.Now(), []*link{l})
 }
 
 // Transfer implements netem.LinkModel: admit the message (loss and
@@ -317,7 +333,14 @@ func (m *Model) resolve(now sim.Time, seeds []*link) {
 	// repeat. Each iteration saturates at least one link, so the loop
 	// runs at most len(links) times.
 	for _, l := range links {
-		l.residual = float64(l.pipe.Config().Bandwidth)
+		// A pipe reconfigured to unlimited (<=0) mid-run stops
+		// constraining the flows it still carries: infinite residual
+		// keeps it from ever being the bottleneck.
+		if bw := l.pipe.Config().Bandwidth; bw <= 0 {
+			l.residual = math.Inf(1)
+		} else {
+			l.residual = float64(bw)
+		}
 		l.active = len(l.flows)
 	}
 	for _, f := range flows {
@@ -348,7 +371,13 @@ func (m *Model) resolve(now sim.Time, seeds []*link) {
 			f.newRate = share
 			unfrozen--
 			for _, l2 := range f.links {
-				l2.residual -= share
+				// An infinite share means every remaining active link
+				// is unlimited (a finite one would have been a smaller
+				// bottleneck); skip the subtraction — Inf-Inf is NaN,
+				// which would poison later iterations' shares.
+				if !math.IsInf(share, 1) {
+					l2.residual -= share
+				}
 				l2.active--
 			}
 		}
@@ -367,8 +396,10 @@ func (m *Model) apply(now sim.Time, flows []*xfer) {
 		if f.newRate == f.rate {
 			continue
 		}
-		if f.rate > 0 {
-			f.remaining -= f.rate * now.Sub(f.ratedAt).Seconds()
+		if el := now.Sub(f.ratedAt).Seconds(); f.rate > 0 && el > 0 {
+			// el > 0 also keeps an infinite rate (a link reconfigured
+			// to unlimited) from producing Inf*0 = NaN.
+			f.remaining -= f.rate * el
 			if f.remaining < 0 {
 				f.remaining = 0
 			}
@@ -405,11 +436,11 @@ const maxDur = time.Duration(math.MaxInt64 / 4)
 // makes an uncontended single-bottleneck flow byte-identical to the
 // pipe model.
 func durBits(bits, rate float64) time.Duration {
-	if bits <= 0 {
+	if !(bits > 0) { // also catches NaN
 		return 0
 	}
-	if rate <= 0 {
-		return maxDur
+	if !(rate > 0) { // also catches NaN: a poisoned rate must never
+		return maxDur // schedule into the virtual past
 	}
 	s := bits / rate * float64(time.Second)
 	if s >= float64(maxDur) {

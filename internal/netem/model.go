@@ -34,6 +34,16 @@ type LinkModel interface {
 	Transfer(at sim.Time, size int, path []*Pipe, rng *rand.Rand, done func(exit sim.Time, ok bool))
 }
 
+// ReconfigurableModel is implemented by link models that keep per-pipe
+// state of their own and must react when a pipe's configuration changes
+// mid-run: the flow model re-solves the connected component of the
+// links↔flows graph containing the pipe and re-rates the flows whose
+// fair share changed. The pipe model needs no notification — its only
+// per-pipe state is the cursor, which Pipe.Reconfigure re-rates itself.
+type ReconfigurableModel interface {
+	PipeReconfigured(p *Pipe)
+}
+
 // ModelKind selects a LinkModel implementation by name; the zero value
 // is the pipe model, so existing configurations are unchanged.
 type ModelKind int

@@ -83,6 +83,42 @@ func (p *Pipe) Name() string { return p.name }
 // pipe at run time).
 func (p *Pipe) SetBandwidth(bitsPerSec int64) { p.cfg.Bandwidth = bitsPerSec }
 
+// Reconfigure atomically replaces the pipe's configuration at the
+// current virtual instant, re-rating the in-flight cursor — Dummynet's
+// runtime `pipe NN config` semantics. The bits the serializer still
+// owes under the old bandwidth are re-charged at the new bandwidth, so
+// the serializer frees earlier after an upgrade and later after a
+// degrade; messages already past the serializer (their delivery events
+// are scheduled) are not recalled. The cursor never moves into the
+// virtual past, so no event derived from it can either. Reconfiguring
+// to an identical configuration is a no-op.
+//
+// Under the flow model the pipe's cursor is idle (the fluid backlog
+// lives in flow.Model); callers there must also notify the model so it
+// re-solves the affected component — vnet routes both through
+// Network-level reconfiguration (see ReconfigurableModel).
+func (p *Pipe) Reconfigure(cfg PipeConfig) {
+	if cfg.Loss < 0 || cfg.Loss > 1 {
+		panic(fmt.Sprintf("netem: pipe %s: loss %v out of [0,1]", p.name, cfg.Loss))
+	}
+	if cfg == p.cfg {
+		return
+	}
+	if cfg.Bandwidth != p.cfg.Bandwidth {
+		now := p.k.Now()
+		if p.nextFree > now {
+			// Backlog still unserialized under the old rate, in bits.
+			bits := p.nextFree.Sub(now).Seconds() * float64(p.cfg.Bandwidth)
+			if cfg.Bandwidth <= 0 {
+				p.nextFree = now // unlimited: backlog drains instantly
+			} else {
+				p.nextFree = now.Add(time.Duration(bits / float64(cfg.Bandwidth) * float64(time.Second)))
+			}
+		}
+	}
+	p.cfg = cfg
+}
+
 // Config returns the pipe's configuration.
 func (p *Pipe) Config() PipeConfig { return p.cfg }
 

@@ -1,0 +1,203 @@
+package scenario
+
+import (
+	"sort"
+	"time"
+)
+
+// The committed scenario corpus: named, runnable experiment
+// descriptions exercising every workload family and every timeline
+// action, each covered by a golden-trace determinism test
+// (golden_test.go) and runnable as `p2plab run <name>`. Populations
+// and file sizes are deliberately modest so the whole corpus runs in
+// test time; scale up by editing a JSON export (`p2plab run -dump`).
+var corpus = []Spec{
+	{
+		Name:        "flash-crowd",
+		Description: "20 DSL clients arrive nearly at once on a single seeder; the flow model shares the seeder uplink max-min fairly",
+		Model:       "flow",
+		Horizon:     Duration(30 * time.Minute),
+		Groups: []GroupSpec{
+			{Name: "crowd", Class: "dsl", Nodes: 21},
+		},
+		Workload: WorkloadSpec{
+			Kind:          WorkloadSwarm,
+			FileSize:      1 << 20,
+			Seeders:       1,
+			StartInterval: Duration(100 * time.Millisecond),
+		},
+	},
+	{
+		Name:        "slow-seeder-wan",
+		Description: "fast-DSL consumers drain a single seeder stuck behind a slow-DSL uplink across a 150 ms WAN",
+		Model:       "flow",
+		Horizon:     Duration(time.Hour),
+		Groups: []GroupSpec{
+			{Name: "origin", Class: "slow-dsl", Nodes: 1},
+			{Name: "consumers", Class: "fast-dsl", Nodes: 12},
+		},
+		Latencies: []LatencySpec{
+			{A: "origin", B: "consumers", OneWay: Duration(150 * time.Millisecond)},
+		},
+		Workload: WorkloadSpec{
+			Kind:        WorkloadSwarm,
+			FileSize:    1 << 20,
+			Seeders:     1,
+			SeederGroup: "origin",
+		},
+	},
+	{
+		Name:        "transatlantic-partition-heal",
+		Description: "two DSL continents share a swarm; the ocean link partitions at 45 s and heals at 225 s, stranding the seederless side",
+		Horizon:     Duration(time.Hour),
+		Groups: []GroupSpec{
+			{Name: "america", Class: "dsl", Nodes: 10},
+			{Name: "europe", Class: "dsl", Nodes: 10},
+		},
+		Latencies: []LatencySpec{
+			{A: "america", B: "europe", OneWay: Duration(80 * time.Millisecond)},
+		},
+		Workload: WorkloadSpec{
+			Kind:        WorkloadSwarm,
+			FileSize:    1 << 20,
+			Seeders:     2,
+			SeederGroup: "america",
+		},
+		Timeline: []EventSpec{
+			{At: Duration(45 * time.Second), Action: ActionPartition,
+				A: []string{"america"}, B: []string{"europe"}, For: Duration(180 * time.Second)},
+		},
+	},
+	{
+		Name:        "modem-heavy-endgame",
+		Description: "a DSL swarm with a modem minority: the endgame tail is dominated by the slowest access class",
+		Horizon:     Duration(time.Hour),
+		Groups: []GroupSpec{
+			{Name: "dsl", Class: "dsl", Nodes: 12},
+			{Name: "modem", Class: "modem", Nodes: 6},
+		},
+		Workload: WorkloadSpec{
+			Kind:     WorkloadSwarm,
+			FileSize: 1 << 20,
+			Seeders:  2,
+		},
+	},
+	{
+		Name:        "degrade-restore",
+		Description: "a campus swarm whose links degrade to modem mid-download and restore later; in-flight transfers are re-rated both ways",
+		Model:       "flow",
+		Horizon:     Duration(30 * time.Minute),
+		Groups: []GroupSpec{
+			{Name: "campus", Class: "campus", Nodes: 16},
+		},
+		Workload: WorkloadSpec{
+			Kind:     WorkloadSwarm,
+			FileSize: 2 << 20,
+			Seeders:  2,
+		},
+		Timeline: []EventSpec{
+			{At: Duration(5 * time.Second), Action: ActionSetClass, Groups: []string{"campus"}, Class: "modem"},
+			{At: Duration(65 * time.Second), Action: ActionSetClass, Groups: []string{"campus"}, Class: "campus"},
+		},
+	},
+	{
+		Name:        "churn-storm",
+		Description: "half the clients churn on Pareto sessions while a 60 s partition splits the swarm down the middle",
+		Horizon:     Duration(time.Hour),
+		Groups: []GroupSpec{
+			{Name: "east", Class: "dsl", Nodes: 10},
+			{Name: "west", Class: "dsl", Nodes: 10},
+		},
+		Workload: WorkloadSpec{
+			Kind:        WorkloadChurnSwarm,
+			FileSize:    1 << 20,
+			Seeders:     2,
+			SeederGroup: "east",
+			Session:     Duration(90 * time.Second),
+			Downtime:    Duration(45 * time.Second),
+		},
+		Timeline: []EventSpec{
+			{At: Duration(100 * time.Second), Action: ActionPartition,
+				A: []string{"east"}, B: []string{"west"}, For: Duration(60 * time.Second)},
+		},
+	},
+	{
+		Name:        "lossy-mobile-gossip",
+		Description: "an epidemic update spreads over slow-DSL 'mobile' links hit by two 20% loss bursts",
+		Horizon:     Duration(10 * time.Minute),
+		Groups: []GroupSpec{
+			{Name: "mobile", Class: "slow-dsl", Nodes: 32},
+		},
+		Workload: WorkloadSpec{
+			Kind:   WorkloadGossip,
+			Fanout: 3,
+		},
+		Timeline: []EventSpec{
+			{At: Duration(2 * time.Second), Action: ActionLoss, Groups: []string{"mobile"},
+				Loss: 0.2, For: Duration(10 * time.Second)},
+			{At: Duration(25 * time.Second), Action: ActionLoss, Groups: []string{"mobile"},
+				Loss: 0.2, For: Duration(10 * time.Second)},
+		},
+	},
+	{
+		Name:        "gossip-partition",
+		Description: "dissemination stalls at half coverage while a partition splits the population, then completes on heal",
+		Horizon:     Duration(10 * time.Minute),
+		Groups: []GroupSpec{
+			{Name: "north", Class: "campus", Nodes: 16},
+			{Name: "south", Class: "campus", Nodes: 16},
+		},
+		Workload: WorkloadSpec{
+			Kind:   WorkloadGossip,
+			Fanout: 3,
+		},
+		Timeline: []EventSpec{
+			{At: Duration(1500 * time.Millisecond), Action: ActionPartition,
+				A: []string{"north"}, B: []string{"south"}, For: Duration(30 * time.Second)},
+		},
+	},
+	{
+		Name:        "dht-flapping-links",
+		Description: "Chord lookups measured while a fifth of the ring's interfaces flap down twice for 30 s",
+		Horizon:     Duration(20 * time.Minute),
+		Groups: []GroupSpec{
+			{Name: "stable", Class: "campus", Nodes: 16},
+			{Name: "flappy", Class: "dsl", Nodes: 4},
+		},
+		Workload: WorkloadSpec{
+			Kind:    WorkloadDHT,
+			Lookups: 40,
+		},
+		Timeline: []EventSpec{
+			{At: Duration(80 * time.Second), Action: ActionLinkDown, Groups: []string{"flappy"}, For: Duration(30 * time.Second)},
+			{At: Duration(150 * time.Second), Action: ActionLinkDown, Groups: []string{"flappy"}, For: Duration(30 * time.Second)},
+		},
+	},
+}
+
+// Corpus returns copies of the committed scenarios, sorted by name.
+func Corpus() []Spec {
+	out := append([]Spec(nil), corpus...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Names returns the corpus scenario names, sorted.
+func Names() []string {
+	out := make([]string, len(corpus))
+	for i, sp := range corpus {
+		out[i] = sp.Name
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ByName returns a copy of the named corpus scenario.
+func ByName(name string) (Spec, bool) {
+	for _, sp := range corpus {
+		if sp.Name == name {
+			return sp, true
+		}
+	}
+	return Spec{}, false
+}

@@ -1,0 +1,51 @@
+package scenario
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzLoadSpec is the loader-robustness property: Load followed by
+// WithDefaults and Validate must never panic on arbitrary bytes (the
+// spec file is user input via `p2plab run -spec`), and any spec that
+// validates must survive a marshal/load round trip still valid.
+func FuzzLoadSpec(f *testing.F) {
+	// The whole committed corpus seeds the fuzzer with realistic specs.
+	for _, sp := range Corpus() {
+		data, err := json.Marshal(sp)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"name":"x"}`))
+	f.Add([]byte(`{"name":"x","groups":[{"name":"g","class":"dsl","nodes":-1}]}`))
+	f.Add([]byte(`{"name":"x","horizon":"-5s"}`))
+	f.Add([]byte(`{"name":"x","timeline":[{"at":"1s","action":"partition"}]}`))
+	f.Add([]byte(`{"name":"x","workload":{"kind":"swarm","seeders":999}}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sp, err := Load(data)
+		if err != nil {
+			return
+		}
+		d := sp.WithDefaults()
+		if err := d.Validate(); err != nil {
+			return
+		}
+		out, err := json.Marshal(d)
+		if err != nil {
+			t.Fatalf("valid spec does not marshal: %v", err)
+		}
+		back, err := Load(out)
+		if err != nil {
+			t.Fatalf("marshalled spec does not load: %v\n%s", err, out)
+		}
+		if err := back.WithDefaults().Validate(); err != nil {
+			t.Fatalf("valid spec became invalid after round trip: %v\n%s", err, out)
+		}
+	})
+}

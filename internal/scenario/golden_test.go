@@ -1,0 +1,61 @@
+package scenario
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// traceDigest runs a scenario with full tracing and returns the
+// SHA-256 of the rendered event stream plus the headline counters —
+// one short string that pins the entire observable behavior of the
+// run.
+func traceDigest(t *testing.T, sp Spec, queue sim.QueueKind) (string, *Result, *trace.Log) {
+	t.Helper()
+	lg := trace.New(0)
+	res, err := Run(&sp, Options{Queue: queue, Trace: lg})
+	if err != nil {
+		t.Fatalf("%s: %v", sp.Name, err)
+	}
+	var buf bytes.Buffer
+	if err := lg.Render(&buf); err != nil {
+		t.Fatalf("%s: render: %v", sp.Name, err)
+	}
+	fmt.Fprintf(&buf, "kernel %+v net %+v ended %v done %d/%d\n",
+		res.Kernel, res.Net, res.EndedAt, res.Done, res.Total)
+	sum := sha256.Sum256(buf.Bytes())
+	return hex.EncodeToString(sum[:]), res, lg
+}
+
+// TestGoldenTraces is the corpus-wide determinism property: every
+// committed scenario, run with its fixed seed, must produce a
+// byte-identical trace stream (a) run over run and (b) under
+// sim.QueueHeap versus the calendar queue — the queue-swap determinism
+// property of internal/sim extended to full scenario runs, timeline
+// reconfiguration included.
+func TestGoldenTraces(t *testing.T) {
+	for _, sp := range Corpus() {
+		sp := sp
+		t.Run(sp.Name, func(t *testing.T) {
+			t.Parallel()
+			first, res, lg := traceDigest(t, sp, sim.QueueCalendar)
+			again, _, _ := traceDigest(t, sp, sim.QueueCalendar)
+			if first != again {
+				t.Errorf("calendar-queue runs diverged: %s vs %s", first, again)
+			}
+			heap, _, _ := traceDigest(t, sp, sim.QueueHeap)
+			if first != heap {
+				t.Errorf("queue kinds diverged: calendar %s, heap %s", first, heap)
+			}
+			if len(sp.Timeline) > 0 && lg.Count("scenario.event") == 0 {
+				t.Errorf("timeline scenario recorded no scenario.event")
+			}
+			t.Logf("digest %s (%d/%d done, ended %v)", first[:16], res.Done, res.Total, res.EndedAt)
+		})
+	}
+}

@@ -1,0 +1,578 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/bt"
+	"repro/internal/chord"
+	"repro/internal/churn"
+	"repro/internal/gossip"
+	"repro/internal/ip"
+	"repro/internal/metrics"
+	"repro/internal/netem"
+	"repro/internal/sim"
+	"repro/internal/topo"
+	"repro/internal/trace"
+	"repro/internal/vnet"
+)
+
+// Options tunes how a scenario is executed without changing what it
+// describes. The zero value is the standard run.
+type Options struct {
+	// Queue selects the kernel's event-queue implementation; the zero
+	// value is the calendar queue. The golden-trace tests run every
+	// corpus scenario under both kinds and require identical traces.
+	Queue sim.QueueKind
+	// Trace, when non-nil, records the full event stream of the run
+	// (network sends/deliveries/drops, flow re-rates, scenario timeline
+	// events) — the basis of the golden-trace regression tests.
+	Trace *trace.Log
+	// Seed overrides the spec's seed when non-zero (the sweep engine's
+	// seed axis).
+	Seed int64
+}
+
+// Result is a completed scenario run.
+type Result struct {
+	Spec    *Spec
+	Model   netem.ModelKind
+	EndedAt sim.Time
+	Kernel  sim.Stats
+	Net     vnet.NetworkStats
+	// Snapshot carries workload metrics keyed like the sweep engine's
+	// cell results, labelled with scenario/workload/model/seed.
+	Snapshot *metrics.Snapshot
+
+	// Swarm family.
+	Completions []sim.Time // per client, zero = unfinished
+	Done, Total int        // clients completed / total clients
+	Arrivals    int        // churn-swarm: sessions started
+	Departures  int
+
+	// DHT.
+	AvgHops    float64
+	AvgLatency time.Duration
+
+	// Gossip.
+	Coverage float64
+	T100     time.Duration
+}
+
+// runner is the per-run state the timeline events act on.
+type runner struct {
+	spec    *Spec
+	k       *sim.Kernel
+	net     *vnet.Network
+	tracer  *trace.Log
+	tracker *vnet.Host
+	hosts   []*vnet.Host              // all workload hosts, creation order
+	groups  map[string][]*vnet.Host   // group name -> member hosts
+	class   map[string]topo.LinkClass // group name -> current class
+	parts   map[string]int            // active partition signature -> id
+	lossGen map[string]uint64         // group -> loss-burst generation
+	linkGen map[string]uint64         // group -> link up/down generation
+	finish  func(*Result)             // workload result collection
+}
+
+// Run executes a scenario to completion (or its horizon) on a fresh
+// kernel and returns the measured result. The spec is defaulted and
+// validated first; the caller's value is not mutated.
+func Run(sp *Spec, opt Options) (*Result, error) {
+	sp = sp.WithDefaults()
+	if opt.Seed != 0 {
+		sp.Seed = opt.Seed
+	}
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	model, err := netem.ParseModel(sp.Model)
+	if err != nil {
+		return nil, err
+	}
+
+	r := &runner{
+		spec:    sp,
+		k:       sim.NewWithQueue(sp.Seed, opt.Queue),
+		tracer:  opt.Trace,
+		groups:  make(map[string][]*vnet.Host, len(sp.Groups)),
+		class:   make(map[string]topo.LinkClass, len(sp.Groups)),
+		parts:   make(map[string]int),
+		lossGen: make(map[string]uint64),
+		linkGen: make(map[string]uint64),
+	}
+
+	// Topology: one topo group per spec group, auto-prefixed unless
+	// pinned, plus the declared inter-group latencies.
+	t := topo.New()
+	for i, g := range sp.Groups {
+		prefix := g.Prefix
+		if prefix == "" {
+			prefix = fmt.Sprintf("10.%d.0.0/16", i+1)
+		}
+		pfx, err := ip.ParsePrefix(prefix)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: group %q: %w", sp.Name, g.Name, err)
+		}
+		class, _ := topo.ClassByName(g.Class)
+		if _, err := t.AddGroup(topo.Group{Name: g.Name, Prefix: pfx, Class: class, Nodes: g.Nodes}); err != nil {
+			return nil, fmt.Errorf("scenario %s: %w", sp.Name, err)
+		}
+		r.class[g.Name] = class
+	}
+	for _, l := range sp.Latencies {
+		if err := t.SetLatency(l.A, l.B, l.OneWay.D()); err != nil {
+			return nil, fmt.Errorf("scenario %s: %w", sp.Name, err)
+		}
+	}
+
+	ncfg := vnet.DefaultConfig()
+	ncfg.Model = model
+	r.net = vnet.NewNetwork(r.k, &vnet.TopoFabric{Topo: t}, ncfg)
+	if opt.Trace != nil {
+		r.net.SetTrace(opt.Trace)
+	}
+
+	// Hosts, in leaf-group declaration order (the same addressing as
+	// vnet.PopulateTopology), recorded per group so timeline events can
+	// address groups.
+	for _, g := range t.LeafGroups() {
+		for i := 0; i < g.Nodes; i++ {
+			h, err := r.net.AddHostClass(g.Prefix.Nth(uint32(i+1)), g.Class)
+			if err != nil {
+				return nil, fmt.Errorf("scenario %s: %w", sp.Name, err)
+			}
+			r.groups[g.Name] = append(r.groups[g.Name], h)
+			r.hosts = append(r.hosts, h)
+		}
+	}
+
+	res := &Result{Spec: sp, Model: model, Snapshot: metrics.NewSnapshot()}
+	res.Snapshot.Label("scenario", sp.Name)
+	res.Snapshot.Label("workload", sp.Workload.Kind)
+	res.Snapshot.Label("model", model.String())
+	res.Snapshot.Label("seed", fmt.Sprintf("%d", sp.Seed))
+
+	if err := r.startWorkload(); err != nil {
+		return nil, err
+	}
+	for _, ev := range sp.Timeline {
+		r.schedule(ev)
+	}
+	if err := r.k.Run(); err != nil {
+		return nil, fmt.Errorf("scenario %s: kernel: %w", sp.Name, err)
+	}
+	r.finish(res)
+	res.EndedAt = r.k.Now()
+	res.Kernel = r.k.Snapshot()
+	res.Net = r.net.Stats()
+	res.Snapshot.Set("ended-s", res.EndedAt.Seconds())
+	res.Snapshot.Count("net-sent", res.Net.MessagesSent)
+	res.Snapshot.Count("net-delivered", res.Net.MessagesDelivered)
+	res.Snapshot.Count("net-dropped", res.Net.MessagesDropped)
+	res.Snapshot.Count("net-retransmits", res.Net.Retransmits)
+	return res, nil
+}
+
+// event records a timeline action on the trace so golden traces cover
+// the scenario layer itself, not just its network effects.
+func (r *runner) event(format string, args ...any) {
+	if r.tracer != nil {
+		r.tracer.Add(r.k.Now(), "scenario.event", r.spec.Name, format, args...)
+	}
+}
+
+// schedule installs one timeline event on the kernel. Auto-reverts
+// (For > 0) are armed by apply itself, only when the event actually
+// took effect, and guard against later events on the same targets —
+// a revert never undoes a newer partition, burst or flap.
+func (r *runner) schedule(ev EventSpec) {
+	r.k.At(sim.Time(0).Add(ev.At.D()), func() { r.apply(ev) })
+}
+
+// groupHosts returns the member hosts of the named groups, in group
+// then creation order.
+func (r *runner) groupHosts(names []string) []*vnet.Host {
+	var out []*vnet.Host
+	for _, g := range names {
+		out = append(out, r.groups[g]...)
+	}
+	return out
+}
+
+func (r *runner) groupAddrs(names []string) []ip.Addr {
+	hosts := r.groupHosts(names)
+	out := make([]ip.Addr, len(hosts))
+	for i, h := range hosts {
+		out[i] = h.Addr()
+	}
+	return out
+}
+
+// partKey canonicalizes a partition's two sides so a heal (or
+// auto-heal) finds the partition regardless of declaration order.
+func partKey(a, b []string) string {
+	as := append([]string(nil), a...)
+	bs := append([]string(nil), b...)
+	sort.Strings(as)
+	sort.Strings(bs)
+	ka, kb := strings.Join(as, ","), strings.Join(bs, ",")
+	if ka > kb {
+		ka, kb = kb, ka
+	}
+	return ka + "|" + kb
+}
+
+func (r *runner) apply(ev EventSpec) {
+	switch ev.Action {
+	case ActionPartition:
+		key := partKey(ev.A, ev.B)
+		if _, active := r.parts[key]; active {
+			return // already split; the earlier partition keeps its schedule
+		}
+		r.event("partition %s | %s", strings.Join(ev.A, ","), strings.Join(ev.B, ","))
+		id := r.net.Partition(r.groupAddrs(ev.A), r.groupAddrs(ev.B))
+		r.parts[key] = id
+		if ev.For > 0 {
+			// The revert is pinned to this partition instance: an
+			// explicit heal + re-partition in between leaves the newer
+			// partition alone.
+			r.k.After(ev.For.D(), func() {
+				if r.parts[key] == id {
+					r.heal(ev.A, ev.B)
+				}
+			})
+		}
+	case ActionHeal:
+		r.heal(ev.A, ev.B)
+	case ActionSetClass:
+		class, _ := topo.ClassByName(ev.Class)
+		r.event("set-class %s -> %s", strings.Join(ev.Groups, ","), class.Name)
+		for _, g := range ev.Groups {
+			r.class[g] = class
+			for _, h := range r.groups[g] {
+				r.net.SetLinkClass(h, class)
+			}
+		}
+	case ActionLoss:
+		r.event("loss burst %g on %s for %v", ev.Loss, strings.Join(ev.Groups, ","), ev.For)
+		gens := make(map[string]uint64, len(ev.Groups))
+		for _, g := range ev.Groups {
+			r.lossGen[g]++
+			gens[g] = r.lossGen[g]
+			for _, h := range r.groups[g] {
+				r.net.SetLinkLoss(h, ev.Loss)
+			}
+		}
+		r.k.After(ev.For.D(), func() {
+			// Restore only the groups this burst still owns: an
+			// overlapping later burst keeps its own loss rate and its
+			// own expiry.
+			for _, g := range ev.Groups {
+				if r.lossGen[g] != gens[g] {
+					continue
+				}
+				r.event("loss burst over on %s", g)
+				for _, h := range r.groups[g] {
+					r.net.SetLinkLoss(h, r.class[g].Loss)
+				}
+			}
+		})
+	case ActionLinkDown:
+		r.event("link-down %s", strings.Join(ev.Groups, ","))
+		gens := make(map[string]uint64, len(ev.Groups))
+		for _, g := range ev.Groups {
+			r.linkGen[g]++
+			gens[g] = r.linkGen[g]
+			for _, h := range r.groups[g] {
+				r.net.SetLinkUp(h, false)
+			}
+		}
+		if ev.For > 0 {
+			r.k.After(ev.For.D(), func() {
+				for _, g := range ev.Groups {
+					if r.linkGen[g] != gens[g] {
+						continue // a newer flap owns the interfaces
+					}
+					r.event("link-up %s", g)
+					for _, h := range r.groups[g] {
+						r.net.SetLinkUp(h, true)
+					}
+				}
+			})
+		}
+	case ActionLinkUp:
+		r.event("link-up %s", strings.Join(ev.Groups, ","))
+		for _, g := range ev.Groups {
+			r.linkGen[g]++ // an explicit up cancels pending auto-restores
+			for _, h := range r.groups[g] {
+				r.net.SetLinkUp(h, true)
+			}
+		}
+	}
+}
+
+func (r *runner) heal(a, b []string) {
+	key := partKey(a, b)
+	id, active := r.parts[key]
+	if !active {
+		return
+	}
+	r.event("heal %s | %s", strings.Join(a, ","), strings.Join(b, ","))
+	delete(r.parts, key)
+	r.net.Heal(id)
+}
+
+// startWorkload builds and launches the spec's workload and sets
+// r.finish to collect its results after the run.
+func (r *runner) startWorkload() error {
+	switch r.spec.Workload.Kind {
+	case WorkloadSwarm:
+		return r.startSwarm(false)
+	case WorkloadChurnSwarm:
+		return r.startSwarm(true)
+	case WorkloadDHT:
+		return r.startDHT()
+	case WorkloadGossip:
+		return r.startGossip()
+	}
+	return fmt.Errorf("scenario %s: unknown workload %q", r.spec.Name, r.spec.Workload.Kind)
+}
+
+// addTracker registers the swarm tracker on an unconstrained link in
+// admin space, outside the 10/8 group prefixes.
+func (r *runner) addTracker() error {
+	h, err := r.net.AddHostClass(ip.MustParseAddr("192.168.0.1"), topo.LAN)
+	if err != nil {
+		return fmt.Errorf("scenario %s: tracker: %w", r.spec.Name, err)
+	}
+	r.tracker = h
+	return nil
+}
+
+func (r *runner) startSwarm(churned bool) error {
+	if err := r.addTracker(); err != nil {
+		return err
+	}
+	w := r.spec.Workload
+	horizon := r.spec.Horizon.D()
+	seedHosts := r.groups[w.SeederGroup][:w.Seeders]
+	isSeed := make(map[*vnet.Host]bool, len(seedHosts))
+	for _, h := range seedHosts {
+		isSeed[h] = true
+	}
+	var clients []*vnet.Host
+	for _, h := range r.hosts {
+		h.SetBindEnv(h.Addr()) // P2PLab's BINDIP interception, as in exp
+		if !isSeed[h] {
+			clients = append(clients, h)
+		}
+	}
+	nChurn := 0
+	if churned {
+		nChurn = int(float64(len(clients)) * w.ChurnFraction)
+	}
+	stable, churning := clients[:len(clients)-nChurn], clients[len(clients)-nChurn:]
+
+	bspec := bt.DefaultSwarmSpec()
+	bspec.FileSize = w.FileSize
+	swarm, err := bt.BuildSwarm(bspec, r.tracker, seedHosts, stable)
+	if err != nil {
+		return fmt.Errorf("scenario %s: %w", r.spec.Name, err)
+	}
+	trackerEP := ip.Endpoint{Addr: r.tracker.Addr(), Port: bt.TrackerPort}
+	churners := make([]*bt.ResumingClient, len(churning))
+	peers := make([]churn.Peer, len(churning))
+	for i, h := range churning {
+		churners[i] = bt.NewResumingClient(h, swarm.Meta, bt.NewSparseStorage(swarm.Meta), trackerEP, bspec.Client)
+		peers[i] = churners[i]
+	}
+
+	swarm.Start(w.StartInterval.D())
+	var driver *churn.Driver
+	if len(churners) > 0 {
+		driver = churn.NewDriver(r.k, churn.Config{
+			Session:      churn.Pareto{Scale: w.Session.D(), Alpha: 1.8},
+			Downtime:     churn.Exponential{MeanDuration: w.Downtime.D()},
+			InitialDelay: time.Duration(len(churning)) * w.StartInterval.D(),
+			Horizon:      horizon,
+		})
+		driver.Drive(peers)
+	}
+
+	r.k.Go("scenario-waiter", func(p *sim.Proc) {
+		if len(churners) == 0 {
+			swarm.WaitAll(p, horizon)
+			r.k.Stop()
+			return
+		}
+		// Stable clients get the first half of the horizon, churners
+		// the rest — the E3 driver's schedule.
+		swarm.WaitAll(p, horizon/2)
+		deadline := p.Now().Add(horizon / 2)
+		for p.Now() < deadline {
+			all := true
+			for _, cc := range churners {
+				if !cc.Done() {
+					all = false
+					break
+				}
+			}
+			if all {
+				break
+			}
+			p.Sleep(30 * time.Second)
+		}
+		r.k.Stop()
+	})
+
+	r.finish = func(res *Result) {
+		res.Completions = swarm.CompletionTimes()
+		res.Total = len(stable) + len(churners)
+		var last float64
+		for _, t := range res.Completions {
+			if t > 0 {
+				res.Done++
+				if t.Seconds() > last {
+					last = t.Seconds()
+				}
+			}
+		}
+		for _, cc := range churners {
+			if cc.Done() {
+				res.Done++
+			}
+		}
+		if driver != nil {
+			st := driver.Stats()
+			res.Arrivals, res.Departures = st.Arrivals, st.Departures
+			res.Snapshot.Count("arrivals", uint64(st.Arrivals))
+			res.Snapshot.Count("departures", uint64(st.Departures))
+		}
+		res.Snapshot.Set("clients-done", float64(res.Done))
+		res.Snapshot.Set("done-fraction", float64(res.Done)/float64(res.Total))
+		res.Snapshot.Set("last-completion-s", last)
+	}
+	return nil
+}
+
+func (r *runner) startDHT() error {
+	w := r.spec.Workload
+	nodes := make([]*chord.Node, len(r.hosts))
+	for i, h := range r.hosts {
+		nodes[i] = chord.NewNode(h, chord.DefaultConfig())
+	}
+	nodes[0].Create()
+	for i := 1; i < len(nodes); i++ {
+		i := i
+		r.k.After(time.Duration(i)*500*time.Millisecond, func() { nodes[i].Join(nodes[0].Ref().Addr) })
+	}
+	warm := time.Duration(len(nodes))*500*time.Millisecond + 60*time.Second
+
+	var avgHops float64
+	var avgLat time.Duration
+	var done int
+	r.k.Go("scenario-measure", func(p *sim.Proc) {
+		p.Sleep(warm)
+		totalHops := 0
+		var totalLat time.Duration
+		for i := 0; i < w.Lookups; i++ {
+			res, err := nodes[i%len(nodes)].Lookup(p, fmt.Sprintf("key-%d", i))
+			if err != nil {
+				continue
+			}
+			done++
+			totalHops += res.Hops
+			totalLat += res.Latency
+		}
+		if done > 0 {
+			avgHops = float64(totalHops) / float64(done)
+			avgLat = totalLat / time.Duration(done)
+		}
+		r.k.Stop()
+	})
+
+	r.finish = func(res *Result) {
+		res.AvgHops = avgHops
+		res.AvgLatency = avgLat
+		res.Done, res.Total = done, w.Lookups
+		var timeouts uint64
+		for _, nd := range nodes {
+			timeouts += nd.Stats.Timeouts
+		}
+		res.Snapshot.Set("avg-hops", avgHops)
+		res.Snapshot.Set("avg-latency-ms", avgLat.Seconds()*1000)
+		res.Snapshot.Set("lookups-done", float64(done))
+		res.Snapshot.Count("timeouts", timeouts)
+	}
+	return nil
+}
+
+func (r *runner) startGossip() error {
+	w := r.spec.Workload
+	cfg := gossip.DefaultConfig()
+	cfg.Fanout = w.Fanout
+	nodes := make([]*gossip.Node, len(r.hosts))
+	eps := make([]ip.Endpoint, len(r.hosts))
+	for i, h := range r.hosts {
+		nodes[i] = gossip.NewNode(h, cfg)
+		eps[i] = ip.Endpoint{Addr: h.Addr(), Port: gossip.Port}
+	}
+	for _, nd := range nodes {
+		nd.SetPeers(eps)
+		nd.Start()
+	}
+
+	var coveredFinal int
+	var coverage float64
+	var t100 time.Duration
+	var pushes uint64
+	r.k.Go("scenario-driver", func(p *sim.Proc) {
+		p.Sleep(time.Second)
+		start := p.Now()
+		const updateID = 1
+		nodes[0].Publish(p, gossip.Update{ID: updateID})
+		window := 5 * time.Minute
+		if h := r.spec.Horizon.D(); h < window {
+			window = h
+		}
+		deadline := start.Add(window)
+		n := len(nodes)
+		for p.Now() < deadline {
+			p.Sleep(250 * time.Millisecond)
+			covered := 0
+			for _, nd := range nodes {
+				if nd.Knows(updateID) {
+					covered++
+				}
+			}
+			if covered == n {
+				t100 = p.Now().Sub(start)
+				break
+			}
+		}
+		covered := 0
+		for _, nd := range nodes {
+			if nd.Knows(updateID) {
+				covered++
+			}
+			pushes += nd.Stats.Pushes
+		}
+		coveredFinal = covered
+		coverage = float64(covered) / float64(n)
+		r.k.Stop()
+	})
+
+	r.finish = func(res *Result) {
+		res.Coverage = coverage
+		res.T100 = t100
+		res.Done = coveredFinal
+		res.Total = len(nodes)
+		res.Snapshot.Set("coverage", coverage)
+		res.Snapshot.Set("t100-s", t100.Seconds())
+		res.Snapshot.Count("pushes", pushes)
+	}
+	return nil
+}

@@ -20,8 +20,13 @@ type Host struct {
 	conns    map[uint64]*Conn
 	meter    SyscallMeter
 	bindEnv  ip.Addr // non-zero: BINDIP interception active
+	linkDown bool    // interface administratively down (Network.SetLinkUp)
 	pingers  map[uint64]*pingWaiter
 }
+
+// LinkUp reports whether the host's interface is up (see
+// Network.SetLinkUp).
+func (h *Host) LinkUp() bool { return !h.linkDown }
 
 type portEntry struct {
 	listener *Listener

@@ -117,8 +117,162 @@ type Network struct {
 	order  []*Host // deterministic iteration
 	nextID uint64  // connection ids
 
+	parts      []*partition // active partitions, creation order
+	nextPartID int
+
 	stats  NetworkStats
 	tracer *trace.Log
+}
+
+// partition is one active administrative split: traffic between the a
+// and b sides is dropped in both directions until healed.
+type partition struct {
+	id   int
+	a, b map[ip.Addr]bool
+}
+
+// Partition splits the network between the two address sets: every
+// transmission attempt with one endpoint in a and the other in b is
+// dropped (not queued — see DESIGN.md decision 6) until Heal is called
+// with the returned id. Reliable messages keep retrying with their
+// usual backoff, so a short partition heals transparently while a long
+// one exhausts retransmissions and surfaces as connection failures.
+// Partitions may overlap; a path is blocked while any partition covers
+// it. Addresses inside one side still reach each other.
+func (n *Network) Partition(a, b []ip.Addr) int {
+	p := &partition{id: n.nextPartID, a: make(map[ip.Addr]bool, len(a)), b: make(map[ip.Addr]bool, len(b))}
+	n.nextPartID++
+	for _, x := range a {
+		p.a[x] = true
+	}
+	for _, x := range b {
+		p.b[x] = true
+	}
+	n.parts = append(n.parts, p)
+	if n.tracer != nil {
+		n.tracer.Add(n.k.Now(), "net.partition", "", "partition %d: %d|%d host(s)", p.id, len(p.a), len(p.b))
+	}
+	return p.id
+}
+
+// Heal removes the partition with the given id; unknown ids are
+// ignored (healing twice is harmless).
+func (n *Network) Heal(id int) {
+	for i, p := range n.parts {
+		if p.id == id {
+			n.parts = append(n.parts[:i], n.parts[i+1:]...)
+			if n.tracer != nil {
+				n.tracer.Add(n.k.Now(), "net.partition", "", "heal %d", id)
+			}
+			return
+		}
+	}
+}
+
+// Partitioned reports whether traffic between src and dst is currently
+// blocked by an active partition.
+func (n *Network) Partitioned(src, dst ip.Addr) bool {
+	for _, p := range n.parts {
+		if (p.a[src] && p.b[dst]) || (p.b[src] && p.a[dst]) {
+			return true
+		}
+	}
+	return false
+}
+
+// pathBlocked reports whether a transmission attempt between the two
+// hosts is administratively impossible right now (a downed interface on
+// either end, or an active partition between them).
+func (n *Network) pathBlocked(src, dst *Host) bool {
+	if src.linkDown || dst.linkDown {
+		return true
+	}
+	return n.Partitioned(src.addr, dst.addr)
+}
+
+// resetConn tears down the sender side of an established connection
+// whose reliable message exhausted retransmission — TCP's give-up
+// reset. Without it a connection that straddles a long partition stays
+// silently half-open forever and the application never redials; with
+// it the local reader observes the close, drops the peer, and
+// recovery (re-announce, redial) can happen after the heal. The remote
+// side cannot be told (no packet reaches it) and stays half-open until
+// its own traffic fails the same way.
+func (n *Network) resetConn(src *Host, m message) {
+	if m.kind != kindData && m.kind != kindFin {
+		return // handshakes are bounded by HandshakeTimeout already
+	}
+	c := src.conns[m.connID]
+	if c == nil {
+		return
+	}
+	if n.tracer != nil {
+		n.tracer.Add(n.k.Now(), "net.reset", m.src.Addr.String(), "conn %d to %v reset", m.connID, m.dst)
+	}
+	delete(src.conns, m.connID)
+	c.closed = true
+	c.abort()
+}
+
+// reconfigurePipe applies a runtime configuration change to one pipe
+// and notifies the link model when it keeps per-pipe state of its own
+// (the flow model re-solves the affected component). A no-op change —
+// the new configuration equals the current one — is invisible: no
+// cursor touch, no model notification, no trace record. That identity
+// is load-bearing: the reconfiguration property tests require an
+// identical-config reconfigure to be trace-identical to none.
+func (n *Network) reconfigurePipe(p *netem.Pipe, cfg netem.PipeConfig) {
+	old := p.Config()
+	if cfg == old {
+		return
+	}
+	if n.tracer != nil {
+		n.tracer.Add(n.k.Now(), "net.reconf", p.Name(),
+			"bw %d->%d delay %v->%v loss %g->%g", old.Bandwidth, cfg.Bandwidth,
+			old.Delay, cfg.Delay, old.Loss, cfg.Loss)
+	}
+	p.Reconfigure(cfg)
+	if rm, ok := n.model.(netem.ReconfigurableModel); ok {
+		rm.PipeReconfigured(p)
+	}
+}
+
+// SetLinkClass re-rates a host's access link to a new class at the
+// current virtual instant — P2PLab's Dummynet pipes reconfigured at run
+// time. In-flight serializations are re-rated (netem.Pipe.Reconfigure)
+// and, under the flow model, the affected components are re-solved.
+func (n *Network) SetLinkClass(h *Host, class topo.LinkClass) {
+	n.reconfigurePipe(h.up, netem.PipeConfig{Bandwidth: class.Up, Delay: class.Latency, Loss: class.Loss})
+	n.reconfigurePipe(h.down, netem.PipeConfig{Bandwidth: class.Down, Delay: class.Latency, Loss: class.Loss})
+}
+
+// SetLinkLoss overrides the random-loss probability of a host's access
+// link in both directions (a loss burst); the rest of the configuration
+// is untouched.
+func (n *Network) SetLinkLoss(h *Host, loss float64) {
+	up := h.up.Config()
+	up.Loss = loss
+	n.reconfigurePipe(h.up, up)
+	down := h.down.Config()
+	down.Loss = loss
+	n.reconfigurePipe(h.down, down)
+}
+
+// SetLinkUp raises or lowers a host's network interface. While down,
+// every transmission attempt from or to the host is dropped (reliable
+// traffic retries with backoff, so a short flap heals transparently).
+func (n *Network) SetLinkUp(h *Host, up bool) {
+	if h.linkDown == !up {
+		return
+	}
+	h.linkDown = !up
+	if n.tracer != nil {
+		state := "up"
+		if !up {
+			state = "down"
+		}
+		n.tracer.Add(n.k.Now(), "net.link", h.addr.String(), "link %s", state)
+	}
 }
 
 // SetTrace attaches an event log: every transmitted and delivered
@@ -297,6 +451,31 @@ func (n *Network) transmit(src *Host, m message, reliable bool) bool {
 // start instant.
 func (n *Network) attempt(src, dst *Host, m message, route Route, tries int, start sim.Time, reliable bool) {
 	size := m.wireSize(&n.cfg)
+	failed := func() {
+		if reliable && tries < n.cfg.MaxRetransmits {
+			n.stats.Retransmits++
+			retryAt := start.Add(n.cfg.RTO * (1 << uint(tries)))
+			n.k.At(retryAt, func() {
+				n.attempt(src, dst, m, route, tries+1, n.k.Now(), reliable)
+			})
+			return
+		}
+		n.stats.MessagesDropped++
+		if n.tracer != nil {
+			n.tracer.Add(n.k.Now(), "net.drop", m.src.Addr.String(),
+				"%d B to %v lost after %d attempt(s)", size, m.dst, tries+1)
+		}
+		if reliable {
+			n.resetConn(src, m)
+		}
+	}
+	// A blocked path (partition or downed interface) drops the attempt
+	// before any pipe is charged: partitions drop rather than queue
+	// (DESIGN.md decision 6), and retransmission is what heals.
+	if n.pathBlocked(src, dst) {
+		failed()
+		return
+	}
 	pipes := make([]*netem.Pipe, 0, 2+len(route.Pipes))
 	pipes = append(pipes, src.up)
 	pipes = append(pipes, route.Pipes...)
@@ -304,15 +483,7 @@ func (n *Network) attempt(src, dst *Host, m message, route Route, tries int, sta
 
 	n.model.Transfer(start, size, pipes, n.k.Rand(), func(exit sim.Time, ok bool) {
 		if !ok {
-			if reliable && tries < n.cfg.MaxRetransmits {
-				n.stats.Retransmits++
-				retryAt := start.Add(n.cfg.RTO * (1 << uint(tries)))
-				n.k.At(retryAt, func() {
-					n.attempt(src, dst, m, route, tries+1, n.k.Now(), reliable)
-				})
-				return
-			}
-			n.stats.MessagesDropped++
+			failed()
 			return
 		}
 		n.k.At(exit.Add(route.Latency), func() {
