@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/exp"
 	"repro/internal/metrics"
+	"repro/internal/netem"
 )
 
 func main() {
@@ -23,15 +24,26 @@ func main() {
 	step := flag.Int("step", 10000, "rules mode: rule count step")
 	pings := flag.Int("pings", 10, "pings per measurement")
 	seed := flag.Int64("seed", 1, "deterministic random seed")
+	classifierName := flag.String("classifier", "linear", "rules mode: packet classifier (linear, indexed)")
 	flag.Parse()
+
+	classifier, err := netem.ParseClassifier(*classifierName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "netlab:", err)
+		os.Exit(1)
+	}
 
 	switch *mode {
 	case "rules":
+		if *step < 1 || *max < 0 {
+			fmt.Fprintln(os.Stderr, "netlab: -step must be at least 1 and -max non-negative")
+			os.Exit(2)
+		}
 		var counts []int
 		for n := 0; n <= *max; n += *step {
 			counts = append(counts, n)
 		}
-		points, err := exp.Fig6(counts, *pings, *seed)
+		points, err := exp.Fig6(counts, *pings, *seed, classifier)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "netlab:", err)
 			os.Exit(1)
@@ -41,9 +53,13 @@ func main() {
 			table.AddRow(fmt.Sprint(pt.Rules),
 				pt.Stats.Avg.String(), pt.Stats.Min.String(), pt.Stats.Max.String())
 		}
-		fmt.Println("round-trip time vs firewall rules (linear IPFW evaluation)")
+		fmt.Printf("round-trip time vs firewall rules (%s classifier)\n", classifier)
 		table.Render(os.Stdout)
 	case "topology":
+		if classifier != netem.ClassifierLinear {
+			fmt.Fprintln(os.Stderr, "netlab: -classifier applies only to rules mode")
+			os.Exit(2)
+		}
 		res, err := exp.Fig7(14, *seed)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "netlab:", err)

@@ -56,9 +56,15 @@ func main() {
 	scale := flag.Int("scale", 1, "divide swarm experiment size by this factor")
 	seed := flag.Int64("seed", 1, "deterministic random seed")
 	modelName := flag.String("model", "pipe", "link model for swarm experiments (pipe, flow)")
+	rules := flag.Int("rules", 0, "pad the network firewall with this many filler rules (swarm figures; 0 = no firewall)")
+	classifierName := flag.String("classifier", "linear", "firewall packet classifier (linear, indexed; figures 6 and 8-11)")
 	flag.Parse()
 
 	model, err := netem.ParseModel(*modelName)
+	if err != nil {
+		fatal(err)
+	}
+	classifier, err := netem.ParseClassifier(*classifierName)
 	if err != nil {
 		fatal(err)
 	}
@@ -70,10 +76,13 @@ func main() {
 	if *fig == "all" {
 		ids = []string{"1", "2", "3", "bind", "6", "6x", "7", "8", "9", "10", "11", "dht", "churn", "gossip"}
 	}
+	if err := validateFirewallFlags(ids, *rules, classifier); err != nil {
+		fatal(err)
+	}
 	for _, id := range ids {
 		start := time.Now()
 		fmt.Printf("== figure %s ==\n", id)
-		if err := run(id, *out, *scale, *seed, model); err != nil {
+		if err := run(id, *out, *scale, *seed, model, *rules, classifier); err != nil {
 			fatal(fmt.Errorf("figure %s: %w", id, err))
 		}
 		fmt.Printf("   done in %v\n", time.Since(start).Round(time.Millisecond))
@@ -83,6 +92,50 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "p2plab:", err)
 	os.Exit(1)
+}
+
+// figVariant suffixes a figure id with the firewall parameters so a
+// variant run does not silently overwrite the baseline artifacts with
+// indistinguishable files; the note is appended to the plot title.
+func figVariant(id string, rules int, classifier netem.Classifier) (variant, note string) {
+	variant = id
+	if rules > 0 {
+		variant += fmt.Sprintf("-rules%d", rules)
+		note += fmt.Sprintf(", %d firewall rules", rules)
+	}
+	if classifier != netem.ClassifierLinear {
+		variant += "-" + classifier.String()
+		note += ", " + classifier.String() + " classifier"
+	}
+	return variant, note
+}
+
+// validateFirewallFlags rejects -rules/-classifier on figure sets they
+// cannot affect — silently running without the requested firewall
+// would misrepresent the output, the same misuse the sweep axes
+// reject.
+func validateFirewallFlags(ids []string, rules int, classifier netem.Classifier) error {
+	rulesApply, classifierApplies := false, false
+	for _, id := range ids {
+		switch id {
+		case "8", "9", "10", "11", "churn":
+			rulesApply = true
+			if rules > 0 {
+				classifierApplies = true
+			}
+		case "6":
+			// Fig 6 sweeps its own rule counts; only the classifier
+			// choice reaches it.
+			classifierApplies = true
+		}
+	}
+	if rules > 0 && !rulesApply {
+		return fmt.Errorf("-rules applies only to the swarm figures (8, 9, 10, 11, churn)")
+	}
+	if classifier != netem.ClassifierLinear && !classifierApplies {
+		return fmt.Errorf("-classifier needs -fig 6 or a swarm figure with -rules > 0")
+	}
+	return nil
 }
 
 // seriesNames extracts curve titles for plot scripts.
@@ -126,7 +179,7 @@ func writePlot(dir, figID, datName, title, xlabel, ylabel string, curves []strin
 	return os.WriteFile(filepath.Join(dir, "fig"+figID+".gp"), []byte(b.String()), 0o644)
 }
 
-func run(id, out string, scale int, seed int64, model netem.ModelKind) error {
+func run(id, out string, scale int, seed int64, model netem.ModelKind, rules int, classifier netem.Classifier) error {
 	switch id {
 	case "1":
 		series := exp.Fig1(nil, seed)
@@ -166,7 +219,7 @@ func run(id, out string, scale int, seed int64, model netem.ModelKind) error {
 			[]byte(fmt.Sprintf("plain %v\nintercepted %v\noverhead %v\n",
 				res.Plain, res.Intercepted, res.Overhead())), 0o644)
 	case "6":
-		points, err := exp.Fig6(nil, 10, seed)
+		points, err := exp.Fig6(nil, 10, seed, classifier)
 		if err != nil {
 			return err
 		}
@@ -175,13 +228,14 @@ func run(id, out string, scale int, seed int64, model netem.ModelKind) error {
 				pt.Rules, pt.Stats.Avg, pt.Stats.Min, pt.Stats.Max)
 		}
 		fig6series := exp.Fig6Series(points)
-		if err := writePlot(out, "6", "fig6.dat",
-			"Round-trip time vs number of firewall rules",
+		vid, note := figVariant("6", 0, classifier)
+		if err := writePlot(out, vid, "fig"+vid+".dat",
+			"Round-trip time vs number of firewall rules"+note,
 			"number of rules to evaluate", "time (ms)",
 			seriesNames(fig6series), true); err != nil {
 			return err
 		}
-		return writeDat(out, "fig6.dat", fig6series...)
+		return writeDat(out, "fig"+vid+".dat", fig6series...)
 	case "6x":
 		series := exp.Fig6Indexed(nil)
 		return writeDat(out, "fig6_indexed.dat", series...)
@@ -199,6 +253,8 @@ func run(id, out string, scale int, seed int64, model netem.ModelKind) error {
 		sp := exp.Fig8Params().Scale(scale)
 		sp.Seed = seed
 		sp.Model = model
+		sp.Rules = rules
+		sp.Classifier = classifier
 		outcome, err := exp.RunSwarm(sp)
 		if err != nil {
 			return err
@@ -209,17 +265,20 @@ func run(id, out string, scale int, seed int64, model netem.ModelKind) error {
 			s := exp.ProgressSeries(fmt.Sprintf("client-%d", i), prog, outcome.Meta.Length)
 			series = append(series, metrics.Downsample(s, 200))
 		}
-		if err := writePlot(out, "8", "fig8.dat",
-			"Evolution of the download on each client",
+		vid, note := figVariant("8", rules, classifier)
+		if err := writePlot(out, vid, "fig"+vid+".dat",
+			"Evolution of the download on each client"+note,
 			"time (s)", "percentage of the file transferred",
 			[]string{"clients"}, false); err != nil {
 			return err
 		}
-		return writeDat(out, "fig8.dat", series...)
+		return writeDat(out, "fig"+vid+".dat", series...)
 	case "9":
 		sp := exp.Fig8Params().Scale(scale)
 		sp.Seed = seed
 		sp.Model = model
+		sp.Rules = rules
+		sp.Classifier = classifier
 		foldings := exp.Fig9Foldings
 		if scale > 1 {
 			foldings = []int{1, 4, 8}
@@ -236,17 +295,20 @@ func run(id, out string, scale int, seed int64, model netem.ModelKind) error {
 		for i, s := range series {
 			ds[i] = metrics.Downsample(s, 400)
 		}
-		if err := writePlot(out, "9", "fig9.dat",
-			"Total amount of data received by the nodes",
+		vid, note := figVariant("9", rules, classifier)
+		if err := writePlot(out, vid, "fig"+vid+".dat",
+			"Total amount of data received by the nodes"+note,
 			"time (s)", "data received (MB)",
 			seriesNames(ds), true); err != nil {
 			return err
 		}
-		return writeDat(out, "fig9.dat", ds...)
+		return writeDat(out, "fig"+vid+".dat", ds...)
 	case "10", "11":
 		sp := exp.Fig10Params().Scale(scale)
 		sp.Seed = seed
 		sp.Model = model
+		sp.Rules = rules
+		sp.Classifier = classifier
 		outcome, err := exp.RunSwarm(sp)
 		if err != nil {
 			return err
@@ -266,15 +328,17 @@ func run(id, out string, scale int, seed int64, model netem.ModelKind) error {
 						fmt.Sprintf("client-%d", i+1), prog, outcome.Meta.Length))
 				}
 			}
-			return writeDat(out, "fig10.dat", series...)
+			vid, _ := figVariant("10", rules, classifier)
+			return writeDat(out, "fig"+vid+".dat", series...)
 		}
-		if err := writePlot(out, "11", "fig11.dat",
-			"Clients having completed the download",
+		vid, note := figVariant("11", rules, classifier)
+		if err := writePlot(out, vid, "fig"+vid+".dat",
+			"Clients having completed the download"+note,
 			"time (s)", "number of clients",
 			[]string{"number of clients"}, true); err != nil {
 			return err
 		}
-		return writeDat(out, "fig11.dat", exp.CompletionSeries(outcome.Completions))
+		return writeDat(out, "fig"+vid+".dat", exp.CompletionSeries(outcome.Completions))
 	case "dht":
 		points, err := exp.DHTScaling(nil, 200, seed)
 		if err != nil {
@@ -298,6 +362,8 @@ func run(id, out string, scale int, seed int64, model netem.ModelKind) error {
 		cp := exp.DefaultChurnSwarmParams()
 		cp.Seed = seed
 		cp.Model = model
+		cp.Rules = rules
+		cp.Classifier = classifier
 		outcome, err := exp.RunChurnSwarm(cp)
 		if err != nil {
 			return err
@@ -305,7 +371,8 @@ func run(id, out string, scale int, seed int64, model netem.ModelKind) error {
 		fmt.Printf("   stable clients: %d/%d done; churners: %d/%d done; %d arrivals, %d departures\n",
 			outcome.StableDone, outcome.StableTotal, outcome.ChurnDone, outcome.ChurnTotal,
 			outcome.Arrivals, outcome.Departures)
-		return os.WriteFile(filepath.Join(out, "churn.txt"),
+		cid, _ := figVariant("churn", rules, classifier)
+		return os.WriteFile(filepath.Join(out, cid+".txt"),
 			[]byte(fmt.Sprintf("stable %d/%d\nchurners %d/%d\narrivals %d\ndepartures %d\n",
 				outcome.StableDone, outcome.StableTotal, outcome.ChurnDone, outcome.ChurnTotal,
 				outcome.Arrivals, outcome.Departures)), 0o644)

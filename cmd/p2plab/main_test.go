@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/netem"
 )
 
 // The command's subcommand entry points are plain functions, so the
@@ -45,6 +47,51 @@ func TestSweepScenarioSmoke(t *testing.T) {
 	}
 }
 
+func TestSweepPingSmoke(t *testing.T) {
+	out := t.TempDir()
+	err := sweepMain([]string{
+		"-exp", "ping", "-rules", "0,2000", "-classifier", "linear,indexed",
+		"-workers", "2", "-out", out,
+	})
+	if err != nil {
+		t.Fatalf("ping sweep: %v", err)
+	}
+	data, err := os.ReadFile(filepath.Join(out, "sweep.csv"))
+	if err != nil {
+		t.Fatalf("sweep.csv: %v", err)
+	}
+	for _, want := range []string{"rtt-avg-ms", "indexed", "2000"} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("sweep.csv missing %q:\n%s", want, data)
+		}
+	}
+}
+
+func TestValidateFirewallFlags(t *testing.T) {
+	lin, idx := netem.ClassifierLinear, netem.ClassifierIndexed
+	cases := []struct {
+		ids        []string
+		rules      int
+		classifier netem.Classifier
+		ok         bool
+	}{
+		{[]string{"3"}, 0, lin, true},
+		{[]string{"3"}, 100, lin, false},       // -rules on a non-swarm figure
+		{[]string{"8"}, 100, idx, true},        // firewalled swarm
+		{[]string{"8"}, 0, idx, false},         // classifier without rules
+		{[]string{"6"}, 0, idx, true},          // fig 6 owns its rule counts
+		{[]string{"6x"}, 0, idx, false},        // 6x plots both classifiers itself
+		{[]string{"1", "8"}, 50000, idx, true}, // mixed set: applies somewhere
+	}
+	for _, tc := range cases {
+		err := validateFirewallFlags(tc.ids, tc.rules, tc.classifier)
+		if (err == nil) != tc.ok {
+			t.Errorf("validateFirewallFlags(%v, %d, %v) = %v, want ok=%v",
+				tc.ids, tc.rules, tc.classifier, err, tc.ok)
+		}
+	}
+}
+
 func TestSweepRejectsBadFlags(t *testing.T) {
 	if err := sweepMain([]string{"-exp", "nope"}); err == nil {
 		t.Error("unknown experiment accepted")
@@ -54,6 +101,12 @@ func TestSweepRejectsBadFlags(t *testing.T) {
 	}
 	if err := sweepMain([]string{"-exp", "scenario", "-scenario", "no-such-scenario"}); err == nil {
 		t.Error("unknown scenario accepted")
+	}
+	if err := sweepMain([]string{"-exp", "dht", "-rules", "0,100"}); err == nil {
+		t.Error("rules axis accepted on a non-firewall experiment")
+	}
+	if err := sweepMain([]string{"-exp", "ping", "-classifier", "hash"}); err == nil {
+		t.Error("unknown classifier accepted")
 	}
 }
 

@@ -20,12 +20,14 @@ import (
 // merged aggregate table and write per-cell results as CSV.
 func sweepMain(args []string) error {
 	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
-	expName := fs.String("exp", "swarm", "experiment family (swarm, churn, dht, gossip, sched, scenario)")
+	expName := fs.String("exp", "swarm", "experiment family (swarm, churn, dht, gossip, sched, scenario, ping)")
 	peers := fs.String("peers", "", "comma-separated population sizes (default: experiment-specific)")
 	churn := fs.String("churn", "", "comma-separated churn fractions in [0,1)")
 	classes := fs.String("class", "", "comma-separated link classes (dsl, modem, slow-dsl, fast-dsl, campus, office, lan)")
 	models := fs.String("model", "", "comma-separated link models (pipe, flow)")
 	scenarios := fs.String("scenario", "", "comma-separated corpus scenario names (scenario experiment; default: all)")
+	rules := fs.String("rules", "", "comma-separated firewall rule-table sizes (ping and swarm families)")
+	classifiers := fs.String("classifier", "", "comma-separated firewall classifiers (linear, indexed)")
 	seeds := fs.String("seeds", "", "comma-separated random seeds")
 	workers := fs.Int("workers", 0, "worker pool size (default: one per CPU)")
 	fileSize := fs.Int("file-size", 0, "swarm file size in bytes (default 2 MiB)")
@@ -59,6 +61,12 @@ func sweepMain(args []string) error {
 	}
 	if g.Models, err = parseModels(*models); err != nil {
 		return fmt.Errorf("-model: %w", err)
+	}
+	if g.Rules, err = parseInts(*rules); err != nil {
+		return fmt.Errorf("-rules: %w", err)
+	}
+	if g.Classifiers, err = parseClassifiers(*classifiers); err != nil {
+		return fmt.Errorf("-classifier: %w", err)
 	}
 	g.Scenarios = splitList(*scenarios)
 
@@ -159,6 +167,18 @@ func parseModels(s string) ([]netem.ModelKind, error) {
 			return nil, err
 		}
 		out = append(out, m)
+	}
+	return out, nil
+}
+
+func parseClassifiers(s string) ([]netem.Classifier, error) {
+	var out []netem.Classifier
+	for _, f := range splitList(s) {
+		c, err := netem.ParseClassifier(f)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
 	}
 	return out, nil
 }

@@ -1,0 +1,74 @@
+// Command fig6 reproduces the paper's Figure 6 — ping round-trip time
+// against the number of firewall rules — through the emulation path:
+// every packet is classified src→dst by the network's IPFW-style rule
+// table (vnet.Config.Rules) and the evaluation cost is charged to
+// virtual time before serialization.
+//
+// Under the linear classifier (faithful to IPFW) the RTT rises
+// linearly with the table size: at ~48 ns per rule visited and two
+// traversals per round trip, 50 000 filler rules add ≈4.8 ms — the
+// paper's measured slope, and the scalability limit it calls out ("it
+// is not possible to evaluate the rules in a hierarchical way, or
+// with a hash table"). Under the indexed classifier the same table is
+// fronted by hash indexes over the source and destination /24, the
+// filler buckets away, and the curve stays flat — the firewall IPFW
+// could not be.
+//
+// Run it:
+//
+//	go run ./examples/fig6
+//	go run ./examples/fig6 -step 5000 -pings 20
+//
+// The equivalent figure-grade sweeps:
+//
+//	p2plab -fig 6 -classifier linear     # physical-cluster path (virt)
+//	p2plab sweep -exp ping -rules 0,10000,50000 -classifier linear,indexed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/exp"
+	"repro/internal/netem"
+)
+
+func main() {
+	max := flag.Int("max", 50000, "maximum rule-table size")
+	step := flag.Int("step", 10000, "rule-count step")
+	pings := flag.Int("pings", 10, "pings per measurement")
+	seed := flag.Int64("seed", 1, "deterministic random seed")
+	flag.Parse()
+	if *step < 1 || *max < 0 {
+		fmt.Fprintln(os.Stderr, "fig6: -step must be at least 1 and -max non-negative")
+		os.Exit(2)
+	}
+
+	fmt.Println("ping RTT vs firewall rules (vnet.Config.Rules, both classifiers)")
+	fmt.Printf("%8s  %14s  %14s  %16s\n", "rules", "linear rtt", "indexed rtt", "visited lin/idx")
+	for rules := 0; rules <= *max; rules += *step {
+		var rtt [2]string
+		var visited [2]uint64
+		for i, classifier := range []netem.Classifier{netem.ClassifierLinear, netem.ClassifierIndexed} {
+			out, err := exp.RunPing(exp.PingParams{
+				Rules:      rules,
+				Classifier: classifier,
+				Pings:      *pings,
+				Seed:       *seed,
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "fig6:", err)
+				os.Exit(1)
+			}
+			rtt[i] = out.Stats.Avg.String()
+			if out.Evals > 0 {
+				visited[i] = out.Visited / out.Evals
+			}
+		}
+		fmt.Printf("%8d  %14s  %14s  %8d /%7d\n", rules, rtt[0], rtt[1], visited[0], visited[1])
+	}
+	fmt.Println()
+	fmt.Println("the linear column is the paper's Fig 6 slope (≈48 ns/rule × 2 traversals);")
+	fmt.Println("the indexed column is the ablation: same verdicts, near-constant cost.")
+}

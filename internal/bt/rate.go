@@ -14,6 +14,8 @@ type RateEstimator struct {
 	samples  []rateSample
 	total    int64 // bytes within the window
 	lifetime int64 // bytes ever recorded
+	first    sim.Time
+	started  bool // first activity recorded
 }
 
 type rateSample struct {
@@ -30,12 +32,19 @@ func NewRateEstimator(window time.Duration) *RateEstimator {
 	return &RateEstimator{window: window}
 }
 
-// Add records bytes transferred at instant now.
+// Add records bytes transferred at instant now. Trimming happens
+// before the append so an idle gap that drained the whole window is
+// detected here too (not only on a Rate call mid-gap) and restarts
+// the warm-up origin.
 func (r *RateEstimator) Add(now sim.Time, bytes int64) {
+	r.trim(now)
+	if !r.started {
+		r.started = true
+		r.first = now
+	}
 	r.samples = append(r.samples, rateSample{at: now, bytes: bytes})
 	r.total += bytes
 	r.lifetime += bytes
-	r.trim(now)
 }
 
 func (r *RateEstimator) trim(now sim.Time) {
@@ -47,17 +56,35 @@ func (r *RateEstimator) trim(now sim.Time) {
 	}
 	if i > 0 {
 		r.samples = append(r.samples[:0], r.samples[i:]...)
+		if len(r.samples) == 0 {
+			// An idle gap drained the whole window: the next activity
+			// starts a fresh warm-up, so a resumed transfer is not
+			// divided by the full window again.
+			r.started = false
+		}
 	}
 }
 
-// Rate returns bytes/second over the window ending at now.
+// Rate returns bytes/second over the window ending at now. During
+// warm-up — less than a full window since the first recorded activity —
+// the divisor is the elapsed time, not the window: dividing by the
+// full window would under-report a transfer 2 s into a 20 s window by
+// 10×, which feeds choke/unchoke ordering. The warm-up divisor is
+// clamped to at least one second so a single block recorded moments
+// before a query cannot masquerade as a multi-MB/s peer.
 func (r *RateEstimator) Rate(now sim.Time) float64 {
 	r.trim(now)
 	if len(r.samples) == 0 {
 		return 0
 	}
-	span := r.window.Seconds()
-	return float64(r.total) / span
+	span := now.Sub(r.first)
+	if span < time.Second {
+		span = time.Second
+	}
+	if span > r.window {
+		span = r.window
+	}
+	return float64(r.total) / span.Seconds()
 }
 
 // TotalBytes returns all bytes ever recorded (not windowed).

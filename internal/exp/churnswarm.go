@@ -28,9 +28,13 @@ type ChurnSwarmParams struct {
 	Session  churn.Lifetime
 	Downtime churn.Lifetime
 	// Model selects pipe-level or flow-level link emulation.
-	Model   netem.ModelKind
-	Seed    int64
-	Horizon time.Duration
+	Model netem.ModelKind
+	// Rules and Classifier configure the network firewall exactly as
+	// in SwarmParams; 0 rules means no firewall.
+	Rules      int
+	Classifier netem.Classifier
+	Seed       int64
+	Horizon    time.Duration
 }
 
 // DefaultChurnSwarmParams returns a moderate-churn configuration.
@@ -66,6 +70,7 @@ func RunChurnSwarm(cp ChurnSwarmParams) (*ChurnSwarmOutcome, error) {
 	k := sim.New(cp.Seed)
 	ncfg := vnet.DefaultConfig()
 	ncfg.Model = cp.Model
+	ncfg.Rules = fillerRules(cp.Rules, cp.Classifier)
 	net := vnet.NewNetwork(k, nil, ncfg)
 	trackerHost, err := net.AddHostClass(ip.MustParseAddr("10.250.0.1"), topo.LAN)
 	if err != nil {

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/netem"
 	"repro/internal/sim"
 	"repro/internal/topo"
 )
@@ -99,7 +100,7 @@ func TestBindOverheadMatchesPaper(t *testing.T) {
 }
 
 func TestFig6Linear(t *testing.T) {
-	points, err := Fig6([]int{0, 10000, 20000}, 4, 1)
+	points, err := Fig6([]int{0, 10000, 20000}, 4, 1, netem.ClassifierLinear)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +123,7 @@ func TestFig6Linear(t *testing.T) {
 }
 
 func TestFig6At50kMatchesPaperMagnitude(t *testing.T) {
-	points, err := Fig6([]int{50000}, 3, 1)
+	points, err := Fig6([]int{50000}, 3, 1, netem.ClassifierLinear)
 	if err != nil {
 		t.Fatal(err)
 	}

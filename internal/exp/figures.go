@@ -158,8 +158,12 @@ type Fig6Point struct {
 
 // Fig6 measures ping round-trip time between two virtual nodes on two
 // physical nodes while the first node's firewall table grows: the RTT
-// rises linearly because IPFW evaluates rules linearly.
-func Fig6(counts []int, pings int, seed int64) ([]Fig6Point, error) {
+// rises linearly because IPFW evaluates rules linearly. With
+// netem.ClassifierIndexed the same sweep runs the hash-indexed
+// classifier and the curve stays near-flat — the ablation the paper
+// could not perform ("it is not possible to evaluate the rules in a
+// hierarchical way, or with a hash table").
+func Fig6(counts []int, pings int, seed int64, classifier netem.Classifier) ([]Fig6Point, error) {
 	if counts == nil {
 		counts = Fig6Counts
 	}
@@ -169,7 +173,9 @@ func Fig6(counts []int, pings int, seed int64) ([]Fig6Point, error) {
 	var out []Fig6Point
 	for _, rules := range counts {
 		k := sim.New(seed)
-		cluster, err := virt.NewCluster(k, 2, virt.DefaultConfig(nil))
+		vcfg := virt.DefaultConfig(nil)
+		vcfg.Classifier = classifier
+		cluster, err := virt.NewCluster(k, 2, vcfg)
 		if err != nil {
 			return nil, err
 		}
@@ -187,11 +193,9 @@ func Fig6(counts []int, pings int, seed int64) ([]Fig6Point, error) {
 			return nil, err
 		}
 		// Filler rules on the first node, never matching the ping path
-		// (the paper pads the table to vary evaluation cost).
-		filler := ip.MustParsePrefix("172.16.0.0/16")
-		for i := 0; i < rules; i++ {
-			cluster.Node(0).Rules().AddCount(filler, filler)
-		}
+		// (the paper pads the table to vary evaluation cost; see
+		// netem.PadFiller for the shape).
+		netem.PadFiller(cluster.Node(0).Rules(), rules)
 		var st vnet.PingStats
 		k.Go("pinger", func(p *sim.Proc) {
 			st = a.PingSeries(p, b.Addr(), vnet.DefaultPingSize, pings, 50*time.Millisecond, 5*time.Second)
@@ -232,17 +236,14 @@ func Fig6Indexed(counts []int) []*metrics.Series {
 	indexed := &metrics.Series{Name: "indexed-visited"}
 	src := ip.MustParseAddr("10.0.0.1")
 	dst := ip.MustParseAddr("10.0.0.2")
-	fillerBase := ip.MustParseAddr("172.16.0.0")
 	for _, rules := range counts {
 		rs := netem.NewRuleSet()
 		rs.AddCount(ip.NewPrefix(src, 32), ip.Prefix{})
 		rs.AddCount(ip.Prefix{}, ip.NewPrefix(src, 32))
-		// Filler rules shaped like real per-vnode rules (/32 sources),
-		// so the hash index can bucket them — the point of the
-		// ablation.
-		for i := 0; i < rules; i++ {
-			rs.AddCount(ip.NewPrefix(fillerBase.Add(uint32(i)), 32), ip.Prefix{})
-		}
+		// Filler shaped like real per-vnode rules (/32 sources), so the
+		// hash index can bucket them — the point of the ablation (see
+		// netem.PadFiller).
+		netem.PadFiller(rs, rules)
 		ix := netem.NewIndexedRuleSet(rs)
 		lv := rs.Eval(src, dst)
 		iv := ix.Eval(src, dst)

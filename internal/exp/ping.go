@@ -1,0 +1,82 @@
+package exp
+
+import (
+	"time"
+
+	"repro/internal/ip"
+	"repro/internal/netem"
+	"repro/internal/sim"
+	"repro/internal/topo"
+	"repro/internal/vnet"
+)
+
+// PingParams configures one network-level firewall ping measurement —
+// the Fig 6 mechanism driven through vnet.Config.Rules instead of the
+// physical-cluster fabric, so it sweeps over both classifiers and
+// composes with either link model.
+type PingParams struct {
+	// Rules is the number of filler rules padding the table (/32
+	// sources, the shape real per-vnode rules have: the linear scan
+	// visits every one, the indexed classifier buckets them away).
+	Rules int
+	// Classifier selects the table's classification algorithm.
+	Classifier netem.Classifier
+	// Class is the two endpoints' access-link class (default LAN-ish
+	// gigabit, the paper's measurement network).
+	Class topo.LinkClass
+	// Model selects pipe- or flow-level link emulation.
+	Model netem.ModelKind
+	// Pings is the number of echo round trips (default 10).
+	Pings int
+	Seed  int64
+}
+
+// PingOutcome is the measured result.
+type PingOutcome struct {
+	Params PingParams
+	Stats  vnet.PingStats
+	// Evals and Visited are the firewall's evaluation counters for the
+	// whole run: Visited/Evals is the average scan length, the
+	// quantity the classifier changes.
+	Evals   uint64
+	Visited uint64
+}
+
+// RunPing measures ping RTT between two hosts through a padded
+// firewall table. RTT = base + 2 × Visited × PerRuleCost: linear in
+// Rules under ClassifierLinear, near-flat under ClassifierIndexed.
+func RunPing(pp PingParams) (*PingOutcome, error) {
+	if pp.Pings <= 0 {
+		pp.Pings = 10
+	}
+	if pp.Class.Name == "" {
+		// A bespoke measurement link, deliberately NOT named "lan":
+		// topo.LAN exists with a different latency, and two result rows
+		// sharing a class label must be comparable.
+		pp.Class = topo.LinkClass{Name: "measure-lan", Down: netem.Gbps, Up: netem.Gbps, Latency: 50 * time.Microsecond}
+	}
+	k := sim.New(pp.Seed)
+	rs := netem.NewFillerTable(pp.Rules, pp.Classifier)
+	cfg := vnet.DefaultConfig()
+	cfg.Model = pp.Model
+	cfg.Rules = rs
+	n := vnet.NewNetwork(k, nil, cfg)
+	a, err := n.AddHostClass(ip.MustParseAddr("10.0.0.1"), pp.Class)
+	if err != nil {
+		return nil, err
+	}
+	b, err := n.AddHostClass(ip.MustParseAddr("10.0.0.2"), pp.Class)
+	if err != nil {
+		return nil, err
+	}
+	out := &PingOutcome{Params: pp}
+	k.Go("pinger", func(p *sim.Proc) {
+		out.Stats = a.PingSeries(p, b.Addr(), vnet.DefaultPingSize, pp.Pings, 50*time.Millisecond, 5*time.Second)
+		k.Stop()
+	})
+	if err := k.Run(); err != nil {
+		return nil, err
+	}
+	out.Evals, out.Visited = rs.EvalStats()
+	return out, nil
+}

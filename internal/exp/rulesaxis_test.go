@@ -1,0 +1,155 @@
+package exp
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/netem"
+	"repro/internal/topo"
+)
+
+// lanTestClass is an unconstrained-ish access link so the swarm tests
+// below are dominated by the firewall cost, not serialization.
+func lanTestClass() topo.LinkClass {
+	return topo.LinkClass{Name: "lan", Down: netem.Gbps, Up: netem.Gbps, Latency: time.Millisecond}
+}
+
+// TestRunPingFig6Shape: the network-level Fig 6 driver — linear RTT
+// growth under the linear classifier, a near-flat curve under the
+// indexed one, identical base.
+func TestRunPingFig6Shape(t *testing.T) {
+	run := func(rules int, cf netem.Classifier) *PingOutcome {
+		out, err := RunPing(PingParams{Rules: rules, Classifier: cf, Pings: 4, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	base := run(0, netem.ClassifierLinear).Stats.Avg
+	lin10 := run(10000, netem.ClassifierLinear).Stats.Avg
+	lin20 := run(20000, netem.ClassifierLinear).Stats.Avg
+	// Two traversals × 10000 rules × 48 ns = 0.96 ms per step.
+	if d := lin10 - base; d != 2*10000*netem.DefaultPerRuleCost {
+		t.Errorf("slope at 10k = %v, want %v", d, 2*10000*netem.DefaultPerRuleCost)
+	}
+	if d1, d2 := lin10-base, lin20-base; d2 != 2*d1 {
+		t.Errorf("not linear: deltas %v then %v", d1, d2)
+	}
+	idx := run(20000, netem.ClassifierIndexed)
+	if idx.Stats.Avg != base {
+		t.Errorf("indexed RTT at 20k rules = %v, want flat base %v", idx.Stats.Avg, base)
+	}
+	if idx.Visited != 0 {
+		t.Errorf("indexed visited %d filler rules, want 0", idx.Visited)
+	}
+}
+
+// TestGridRulesAxis: expansion, defaults and rejection rules for the
+// rules and classifier axes.
+func TestGridRulesAxis(t *testing.T) {
+	g := Grid{
+		Experiment:  ExpPing,
+		Rules:       []int{0, 1000},
+		Classifiers: []netem.Classifier{netem.ClassifierLinear, netem.ClassifierIndexed},
+		Seeds:       []int64{1, 2},
+	}
+	cells, err := g.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// rules=0 collapses to one baseline cell (an empty table behaves
+	// identically under every classifier): (1 + 2) × 2 seeds.
+	if len(cells) != 6 {
+		t.Fatalf("cells = %d, want (1 baseline + 2 classifiers at 1000 rules) × 2 seeds = 6", len(cells))
+	}
+	zeroCells := 0
+	for _, c := range cells {
+		if c.Rules == 0 {
+			zeroCells++
+		}
+	}
+	if zeroCells != 2 {
+		t.Fatalf("rules=0 cells = %d, want 2 (one per seed, not per classifier)", zeroCells)
+	}
+
+	if _, err := (Grid{Experiment: ExpDHT, Rules: []int{0, 100}}).Cells(); err == nil {
+		t.Error("dht accepted the rules axis")
+	}
+	if _, err := (Grid{Experiment: ExpDHT, Rules: []int{100}}).Cells(); err == nil {
+		t.Error("dht accepted a single-valued rules axis (would silently run without a firewall)")
+	}
+	if _, err := (Grid{Experiment: ExpSched, Classifiers: []netem.Classifier{netem.ClassifierIndexed}}).Cells(); err == nil {
+		t.Error("sched accepted a single-valued classifier axis")
+	}
+	if _, err := (Grid{Experiment: ExpGossip, Classifiers: []netem.Classifier{netem.ClassifierLinear, netem.ClassifierIndexed}}).Cells(); err == nil {
+		t.Error("gossip accepted the classifier axis")
+	}
+	if _, err := (Grid{Experiment: ExpPing, Rules: []int{100, 100}}).Cells(); err == nil {
+		t.Error("duplicate rules axis accepted")
+	}
+	if _, err := (Grid{Experiment: ExpPing, Rules: []int{-1}}).Cells(); err == nil {
+		t.Error("negative rule count accepted")
+	}
+	if _, err := (Grid{Experiment: ExpPing, Peers: []int{2, 4}}).Cells(); err == nil {
+		t.Error("ping accepted the peers axis")
+	}
+}
+
+// TestSweepPingCells runs a small ping sweep end-to-end and checks the
+// labels and the flat-vs-linear artifact in the merged snapshots.
+func TestSweepPingCells(t *testing.T) {
+	g := Grid{
+		Experiment:  ExpPing,
+		Rules:       []int{0, 5000},
+		Classifiers: []netem.Classifier{netem.ClassifierLinear, netem.ClassifierIndexed},
+	}
+	res, err := RunSweep(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed != 0 {
+		t.Fatalf("failed cells: %v", res.Errs())
+	}
+	byKey := map[string]float64{}
+	for _, c := range res.Cells {
+		byKey[c.Snapshot.Labels["rules"]+"/"+c.Snapshot.Labels["classifier"]] = c.Snapshot.Values["rtt-avg-ms"]
+	}
+	// rules=0 ran once, as the linear baseline.
+	if byKey["5000/linear"] <= byKey["0/linear"] {
+		t.Errorf("linear classifier: 5000 rules (%g ms) not slower than 0 (%g ms)",
+			byKey["5000/linear"], byKey["0/linear"])
+	}
+	if byKey["5000/indexed"] != byKey["0/linear"] {
+		t.Errorf("indexed classifier: %g ms at 5000 rules, want flat baseline %g",
+			byKey["5000/indexed"], byKey["0/linear"])
+	}
+}
+
+// TestSwarmRulesSlowCompletion: a firewalled swarm pays the scan on
+// every message — with a large linear table the download measurably
+// slows; the indexed classifier removes the overhead.
+func TestSwarmRulesSlowCompletion(t *testing.T) {
+	run := func(rules int, cf netem.Classifier) *SwarmOutcome {
+		out, err := RunSwarm(SwarmParams{
+			Clients: 4, Seeders: 1, FileSize: 256 << 10,
+			StartInterval: time.Second, Class: lanTestClass(),
+			Rules: rules, Classifier: cf, Seed: 1, Horizon: time.Hour,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !out.AllDone {
+			t.Fatal("swarm incomplete")
+		}
+		return out
+	}
+	base := run(0, netem.ClassifierLinear).EndedAt
+	heavy := run(50000, netem.ClassifierLinear).EndedAt
+	light := run(50000, netem.ClassifierIndexed).EndedAt
+	if heavy <= base {
+		t.Errorf("50k-rule linear swarm ended at %v, want later than %v", heavy, base)
+	}
+	if light >= heavy {
+		t.Errorf("indexed swarm ended at %v, want earlier than linear %v", light, heavy)
+	}
+}

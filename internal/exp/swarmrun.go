@@ -37,9 +37,26 @@ type SwarmParams struct {
 	// Model selects pipe-level (default) or flow-level link emulation
 	// for the whole experiment.
 	Model netem.ModelKind
-	Seed  int64
+	// Rules pads the network firewall with this many filler rules
+	// (never matching swarm traffic): every message then pays the
+	// classification cost, the Fig 6 artifact applied to a whole
+	// workload. 0 runs without a firewall (vnet.Config.Rules == nil).
+	Rules int
+	// Classifier selects the firewall's classification algorithm when
+	// Rules > 0.
+	Classifier netem.Classifier
+	Seed       int64
 	// Horizon caps the experiment's virtual time.
 	Horizon time.Duration
+}
+
+// fillerRules builds a firewall table padded with n filler rules under
+// the given classifier, or nil for n == 0 (no firewall at all).
+func fillerRules(n int, classifier netem.Classifier) *netem.RuleSet {
+	if n <= 0 {
+		return nil
+	}
+	return netem.NewFillerTable(n, classifier)
 }
 
 // Fig8Params returns the paper's first BitTorrent experiment: "the
@@ -142,6 +159,7 @@ func RunSwarm(sp SwarmParams) (*SwarmOutcome, error) {
 	}
 	ncfg := vnet.DefaultConfig()
 	ncfg.Model = sp.Model
+	ncfg.Rules = fillerRules(sp.Rules, sp.Classifier)
 	net := vnet.NewNetwork(k, fabric, ncfg)
 
 	trackerHost, err := net.AddHostClass(ip.MustParseAddr("10.250.0.1"), topo.LAN)

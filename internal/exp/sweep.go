@@ -45,23 +45,30 @@ const (
 	// peers/churn/class/model axes (the spec owns those), leaving the
 	// seed axis for replication.
 	ExpScenario Experiment = "scenario"
+	// ExpPing is the firewall rule-scaling measurement (Fig 6): ping
+	// RTT against the rule-table size, under either classifier. It
+	// ignores the peers and churn axes and reads the rules and
+	// classifier axes.
+	ExpPing Experiment = "ping"
 )
 
 // Experiments lists the sweepable experiment families.
-var Experiments = []Experiment{ExpSwarm, ExpChurn, ExpDHT, ExpGossip, ExpSched, ExpScenario}
+var Experiments = []Experiment{ExpSwarm, ExpChurn, ExpDHT, ExpGossip, ExpSched, ExpScenario, ExpPing}
 
 // Grid is a parameter grid. Cells() expands the cross product of the
 // axes; nil axes get a single experiment-appropriate default, so a
 // zero-ish Grid is one cell. Axis values must be distinct: the
 // expansion is guaranteed exhaustive and duplicate-free.
 type Grid struct {
-	Experiment Experiment
-	Peers      []int             // population sizes (clients / ring size / processes)
-	Churn      []float64         // churn fractions in [0,1); swarm-family only
-	Classes    []topo.LinkClass  // access-link classes
-	Models     []netem.ModelKind // link-emulation models (pipe, flow)
-	Scenarios  []string          // corpus scenario names; scenario experiment only
-	Seeds      []int64
+	Experiment  Experiment
+	Peers       []int              // population sizes (clients / ring size / processes)
+	Churn       []float64          // churn fractions in [0,1); swarm-family only
+	Classes     []topo.LinkClass   // access-link classes
+	Models      []netem.ModelKind  // link-emulation models (pipe, flow)
+	Scenarios   []string           // corpus scenario names; scenario experiment only
+	Rules       []int              // firewall rule-table sizes; ping and swarm families
+	Classifiers []netem.Classifier // firewall classifiers (linear, indexed)
+	Seeds       []int64
 
 	// Knobs held constant across the grid.
 	FileSize int           // bytes per swarm download (default 2 MiB)
@@ -79,6 +86,8 @@ type Cell struct {
 	Class      topo.LinkClass
 	Model      netem.ModelKind
 	Scenario   string // scenario experiment only
+	Rules      int    // firewall rule-table size; ping and swarm families
+	Classifier netem.Classifier
 	Seed       int64
 
 	fileSize int
@@ -92,6 +101,10 @@ func (c Cell) String() string {
 	if c.Experiment == ExpScenario {
 		return fmt.Sprintf("%s[%s seed=%d]", c.Experiment, c.Scenario, c.Seed)
 	}
+	if c.Experiment == ExpPing || (c.Experiment.usesRulesAxis() && c.Rules > 0) {
+		return fmt.Sprintf("%s[peers=%d churn=%g class=%s model=%s rules=%d classifier=%s seed=%d]",
+			c.Experiment, c.Peers, c.Churn, c.Class.Name, c.Model, c.Rules, c.Classifier, c.Seed)
+	}
 	return fmt.Sprintf("%s[peers=%d churn=%g class=%s model=%s seed=%d]",
 		c.Experiment, c.Peers, c.Churn, c.Class.Name, c.Model, c.Seed)
 }
@@ -100,8 +113,8 @@ func (c Cell) String() string {
 func (e Experiment) usesChurnAxis() bool { return e == ExpSwarm || e == ExpChurn }
 
 // usesPeersAxis reports whether the experiment reads the peers axis
-// (a scenario spec owns its own populations).
-func (e Experiment) usesPeersAxis() bool { return e != ExpScenario }
+// (a scenario spec owns its own populations; ping is a fixed pair).
+func (e Experiment) usesPeersAxis() bool { return e != ExpScenario && e != ExpPing }
 
 // usesClassAxis reports whether the experiment reads the class axis.
 func (e Experiment) usesClassAxis() bool { return e != ExpSched && e != ExpScenario }
@@ -111,11 +124,16 @@ func (e Experiment) usesClassAxis() bool { return e != ExpSched && e != ExpScena
 // scenario spec picks its own model).
 func (e Experiment) usesModelAxis() bool { return e != ExpSched && e != ExpScenario }
 
+// usesRulesAxis reports whether the experiment reads the firewall
+// rules and classifier axes: the Fig 6 ping sweep and the swarm
+// families (every message of a firewalled swarm pays the scan).
+func (e Experiment) usesRulesAxis() bool { return e == ExpPing || e == ExpSwarm || e == ExpChurn }
+
 // Cells expands the grid into its cells, in row-major grid order
-// (peers, then churn, then class, then model, then seed). It rejects repeated axis
-// values and multi-valued axes the experiment ignores — both would
-// produce duplicate cells, and a sweep must be exhaustive and
-// duplicate-free.
+// (peers, then churn, then class, then model, then scenario, then
+// rules, then classifier, then seed). It rejects repeated axis values
+// and multi-valued axes the experiment ignores — both would produce
+// duplicate cells, and a sweep must be exhaustive and duplicate-free.
 func (g Grid) Cells() ([]Cell, error) {
 	exp := g.Experiment
 	if exp == "" {
@@ -184,6 +202,15 @@ func (g Grid) Cells() ([]Cell, error) {
 		scenarios = []string{""}
 	}
 
+	ruleCounts := g.Rules
+	if len(ruleCounts) == 0 {
+		ruleCounts = []int{0}
+	}
+	classifiers := g.Classifiers
+	if len(classifiers) == 0 {
+		classifiers = []netem.Classifier{netem.ClassifierLinear}
+	}
+
 	if !exp.usesPeersAxis() && len(peers) > 1 {
 		return nil, fmt.Errorf("exp: %s ignores the peers axis; %d values would duplicate cells", exp, len(peers))
 	}
@@ -195,6 +222,43 @@ func (g Grid) Cells() ([]Cell, error) {
 	}
 	if !exp.usesModelAxis() && len(models) > 1 {
 		return nil, fmt.Errorf("exp: %s ignores the model axis; %d values would duplicate cells", exp, len(models))
+	}
+	if !exp.usesRulesAxis() && (len(g.Rules) > 0 || len(g.Classifiers) > 0) {
+		// Even a single explicit value is rejected: these axes request a
+		// firewall, and silently running without one would misrepresent
+		// every cell of the sweep.
+		return nil, fmt.Errorf("exp: %s ignores the rules and classifier axes", exp)
+	}
+	if err := distinctInts("rules", ruleCounts); err != nil {
+		return nil, err
+	}
+	for _, rc := range ruleCounts {
+		if rc < 0 {
+			return nil, fmt.Errorf("exp: negative rule count %d", rc)
+		}
+	}
+	seenClassifier := map[netem.Classifier]bool{}
+	for _, cl := range classifiers {
+		if seenClassifier[cl] {
+			return nil, fmt.Errorf("exp: duplicate classifier axis value %q", cl)
+		}
+		seenClassifier[cl] = true
+	}
+	if len(g.Classifiers) > 0 {
+		// An empty table behaves identically under every classifier
+		// (the swarm families do not even install one), so an explicit
+		// classifier axis without a nonzero rules value would be
+		// silently ignored — error loudly instead, like every other
+		// ignored-axis misuse.
+		anyRules := false
+		for _, rc := range ruleCounts {
+			if rc > 0 {
+				anyRules = true
+			}
+		}
+		if !anyRules {
+			return nil, fmt.Errorf("exp: the classifier axis needs a nonzero rules axis value (an empty table is classifier-independent)")
+		}
 	}
 	seenModel := map[netem.ModelKind]bool{}
 	for _, mdl := range models {
@@ -252,14 +316,26 @@ func (g Grid) Cells() ([]Cell, error) {
 			for _, cl := range classes {
 				for _, mdl := range models {
 					for _, sc := range scenarios {
-						for _, s := range seeds {
-							cells = append(cells, Cell{
-								Index: len(cells), Experiment: exp,
-								Peers: p, Churn: ch, Class: cl, Model: mdl,
-								Scenario: sc, Seed: s,
-								fileSize: fileSize, lookups: lookups,
-								fanout: fanout, horizon: horizon,
-							})
+						for _, rc := range ruleCounts {
+							for cfIdx, cf := range classifiers {
+								// An empty table behaves identically under
+								// every classifier (the swarm families do
+								// not even install one), so rules=0 emits
+								// a single baseline cell — the expansion
+								// stays duplicate-free.
+								if rc == 0 && cfIdx > 0 {
+									continue
+								}
+								for _, s := range seeds {
+									cells = append(cells, Cell{
+										Index: len(cells), Experiment: exp,
+										Peers: p, Churn: ch, Class: cl, Model: mdl,
+										Scenario: sc, Rules: rc, Classifier: cf, Seed: s,
+										fileSize: fileSize, lookups: lookups,
+										fanout: fanout, horizon: horizon,
+									})
+								}
+							}
 						}
 					}
 				}
@@ -273,6 +349,8 @@ func defaultPeers(e Experiment) int {
 	switch e {
 	case ExpSched:
 		return 100
+	case ExpPing:
+		return 2
 	default:
 		return 16
 	}
@@ -427,6 +505,16 @@ func RunCell(c Cell) (*metrics.Snapshot, error) {
 		snap.Label("class", c.Class.Name)
 		snap.Label("model", c.Model.String())
 	}
+	if c.Experiment.usesRulesAxis() {
+		snap.Label("rules", fmt.Sprintf("%d", c.Rules))
+		// The swarm families run with no firewall at all when Rules ==
+		// 0 (fillerRules returns nil), so a classifier label there
+		// would claim a classifier that never ran; ping always installs
+		// the table, empty or not.
+		if c.Rules > 0 || c.Experiment == ExpPing {
+			snap.Label("classifier", c.Classifier.String())
+		}
+	}
 	snap.Label("seed", fmt.Sprintf("%d", c.Seed))
 
 	var err error
@@ -445,6 +533,8 @@ func RunCell(c Cell) (*metrics.Snapshot, error) {
 		err = runSchedCell(c, snap)
 	case ExpScenario:
 		err = runScenarioCell(c, snap)
+	case ExpPing:
+		err = runPingCell(c, snap)
 	default:
 		err = fmt.Errorf("unknown experiment %q", c.Experiment)
 	}
@@ -452,6 +542,27 @@ func RunCell(c Cell) (*metrics.Snapshot, error) {
 		return nil, err
 	}
 	return snap, nil
+}
+
+// runPingCell sweeps the Fig 6 measurement: RTT against rule-table
+// size under the cell's classifier.
+func runPingCell(c Cell, snap *metrics.Snapshot) error {
+	out, err := RunPing(PingParams{
+		Rules:      c.Rules,
+		Classifier: c.Classifier,
+		Class:      c.Class,
+		Model:      c.Model,
+		Seed:       c.Seed,
+	})
+	if err != nil {
+		return err
+	}
+	snap.Set("rtt-avg-ms", out.Stats.Avg.Seconds()*1000)
+	snap.Set("rtt-min-ms", out.Stats.Min.Seconds()*1000)
+	snap.Set("rtt-max-ms", out.Stats.Max.Seconds()*1000)
+	snap.Count("fw-evals", out.Evals)
+	snap.Count("fw-visited", out.Visited)
+	return nil
 }
 
 func runSwarmCell(c Cell, snap *metrics.Snapshot) error {
@@ -466,6 +577,8 @@ func runSwarmCell(c Cell, snap *metrics.Snapshot) error {
 		StartInterval: 2 * time.Second,
 		Class:         c.Class,
 		Model:         c.Model,
+		Rules:         c.Rules,
+		Classifier:    c.Classifier,
 		Seed:          c.Seed,
 		Horizon:       c.horizon,
 	})
@@ -503,6 +616,8 @@ func runChurnCell(c Cell, snap *metrics.Snapshot) error {
 		Session:       DefaultChurnSwarmParams().Session,
 		Downtime:      DefaultChurnSwarmParams().Downtime,
 		Model:         c.Model,
+		Rules:         c.Rules,
+		Classifier:    c.Classifier,
 		Seed:          c.Seed,
 		Horizon:       c.horizon,
 	})

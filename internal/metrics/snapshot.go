@@ -45,14 +45,19 @@ func (s *Snapshot) Count(key string, n uint64) { s.Counters[key] += n }
 type Aggregate struct {
 	Cells    int
 	Counters map[string]uint64
-	Samples  map[string][]float64
+	// CounterCells tracks, per counter key, how many merged snapshots
+	// actually recorded that counter — cells that measure different
+	// things must not inflate each other's "n".
+	CounterCells map[string]int
+	Samples      map[string][]float64
 }
 
 // NewAggregate returns an empty aggregate.
 func NewAggregate() *Aggregate {
 	return &Aggregate{
-		Counters: make(map[string]uint64),
-		Samples:  make(map[string][]float64),
+		Counters:     make(map[string]uint64),
+		CounterCells: make(map[string]int),
+		Samples:      make(map[string][]float64),
 	}
 }
 
@@ -64,6 +69,7 @@ func (a *Aggregate) Add(s *Snapshot) {
 	a.Cells++
 	for k, n := range s.Counters {
 		a.Counters[k] += n
+		a.CounterCells[k]++
 	}
 	for k, v := range s.Values {
 		a.Samples[k] = append(a.Samples[k], v)
@@ -99,7 +105,7 @@ func (a *Aggregate) Table() *Table {
 	}
 	sort.Strings(counters)
 	for _, k := range counters {
-		t.AddRow(k+" (total)", strconv.Itoa(a.Cells), "", "", "", strconv.FormatUint(a.Counters[k], 10))
+		t.AddRow(k+" (total)", strconv.Itoa(a.CounterCells[k]), "", "", "", strconv.FormatUint(a.Counters[k], 10))
 	}
 	return t
 }

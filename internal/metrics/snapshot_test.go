@@ -32,6 +32,39 @@ func TestAggregateMerge(t *testing.T) {
 	}
 }
 
+// TestAggregateCounterCells: a counter's "n" is the number of cells
+// that recorded it, not the total number of merged cells.
+func TestAggregateCounterCells(t *testing.T) {
+	a := NewAggregate()
+	for i := 0; i < 4; i++ {
+		s := NewSnapshot()
+		s.Count("events", 10)
+		if i == 0 {
+			s.Count("rare", 7) // only one cell measures this
+		}
+		a.Add(s)
+	}
+	if a.Cells != 4 {
+		t.Fatalf("Cells = %d, want 4", a.Cells)
+	}
+	if a.CounterCells["events"] != 4 || a.CounterCells["rare"] != 1 {
+		t.Fatalf("CounterCells = %v", a.CounterCells)
+	}
+	tbl := a.Table()
+	var rareRow []string
+	for _, row := range tbl.Rows {
+		if row[0] == "rare (total)" {
+			rareRow = row
+		}
+	}
+	if rareRow == nil {
+		t.Fatal("rare counter missing from table")
+	}
+	if rareRow[1] != "1" {
+		t.Fatalf("rare n = %q, want 1 (recorded by one cell of four)", rareRow[1])
+	}
+}
+
 func TestWriteSnapshotsCSV(t *testing.T) {
 	s1 := NewSnapshot()
 	s1.Label("exp", "dht")

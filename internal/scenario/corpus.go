@@ -157,6 +157,48 @@ var corpus = []Spec{
 		},
 	},
 	{
+		Name:        "firewalled-group",
+		Description: "a deny-prefix rule firewalls the filtered group off mid-download for 3 minutes; retransmission backs off, stranded conns reset, the swarm recovers on the del",
+		Horizon:     Duration(time.Hour),
+		Groups: []GroupSpec{
+			{Name: "open", Class: "dsl", Nodes: 10},
+			{Name: "filtered", Class: "dsl", Nodes: 8},
+		},
+		Workload: WorkloadSpec{
+			Kind:        WorkloadSwarm,
+			FileSize:    1 << 20,
+			Seeders:     2,
+			SeederGroup: "open",
+		},
+		Timeline: []EventSpec{
+			{At: Duration(45 * time.Second), Action: ActionDenyPfx,
+				Groups: []string{"filtered"}, For: Duration(180 * time.Second)},
+		},
+	},
+	{
+		Name:        "policy-churn",
+		Description: "gossip spreads while the indexed-classifier firewall churns: filler batches install and retire, and the edge group is denied for 20 s mid-spread",
+		Classifier:  "indexed",
+		Horizon:     Duration(10 * time.Minute),
+		Groups: []GroupSpec{
+			{Name: "core", Class: "campus", Nodes: 16},
+			{Name: "edge", Class: "dsl", Nodes: 8},
+		},
+		Workload: WorkloadSpec{
+			Kind:   WorkloadGossip,
+			Fanout: 3,
+		},
+		Timeline: []EventSpec{
+			{At: Duration(2 * time.Second), Action: ActionAddRule,
+				Rule: "count", Src: "172.16.5.0/24", ID: 50000, Copies: 2000},
+			{At: Duration(5 * time.Second), Action: ActionDenyPfx,
+				Groups: []string{"edge"}, For: Duration(20 * time.Second)},
+			{At: Duration(40 * time.Second), Action: ActionDelRule, ID: 50000},
+			{At: Duration(45 * time.Second), Action: ActionAddRule,
+				Rule: "count", Dst: "core", ID: 60000, Copies: 500},
+		},
+	},
+	{
 		Name:        "dht-flapping-links",
 		Description: "Chord lookups measured while a fifth of the ring's interfaces flap down twice for 30 s",
 		Horizon:     Duration(20 * time.Minute),

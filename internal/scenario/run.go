@@ -70,10 +70,12 @@ type runner struct {
 	tracker *vnet.Host
 	hosts   []*vnet.Host              // all workload hosts, creation order
 	groups  map[string][]*vnet.Host   // group name -> member hosts
+	prefix  map[string]ip.Prefix      // group name -> address block
 	class   map[string]topo.LinkClass // group name -> current class
 	parts   map[string]int            // active partition signature -> id
 	lossGen map[string]uint64         // group -> loss-burst generation
 	linkGen map[string]uint64         // group -> link up/down generation
+	rules   *netem.RuleSet            // firewall table; nil unless enabled
 	finish  func(*Result)             // workload result collection
 }
 
@@ -98,6 +100,7 @@ func Run(sp *Spec, opt Options) (*Result, error) {
 		k:       sim.NewWithQueue(sp.Seed, opt.Queue),
 		tracer:  opt.Trace,
 		groups:  make(map[string][]*vnet.Host, len(sp.Groups)),
+		prefix:  make(map[string]ip.Prefix, len(sp.Groups)),
 		class:   make(map[string]topo.LinkClass, len(sp.Groups)),
 		parts:   make(map[string]int),
 		lossGen: make(map[string]uint64),
@@ -121,6 +124,7 @@ func Run(sp *Spec, opt Options) (*Result, error) {
 			return nil, fmt.Errorf("scenario %s: %w", sp.Name, err)
 		}
 		r.class[g.Name] = class
+		r.prefix[g.Name] = pfx
 	}
 	for _, l := range sp.Latencies {
 		if err := t.SetLatency(l.A, l.B, l.OneWay.D()); err != nil {
@@ -130,6 +134,15 @@ func Run(sp *Spec, opt Options) (*Result, error) {
 
 	ncfg := vnet.DefaultConfig()
 	ncfg.Model = model
+	if sp.FirewallEnabled() {
+		classifier := netem.ClassifierLinear
+		if sp.Classifier != "" {
+			classifier, _ = netem.ParseClassifier(sp.Classifier)
+		}
+		r.rules = netem.NewRuleSet()
+		r.rules.SetClassifier(classifier)
+		ncfg.Rules = r.rules
+	}
 	r.net = vnet.NewNetwork(r.k, &vnet.TopoFabric{Topo: t}, ncfg)
 	if opt.Trace != nil {
 		r.net.SetTrace(opt.Trace)
@@ -173,6 +186,13 @@ func Run(sp *Spec, opt Options) (*Result, error) {
 	res.Snapshot.Count("net-delivered", res.Net.MessagesDelivered)
 	res.Snapshot.Count("net-dropped", res.Net.MessagesDropped)
 	res.Snapshot.Count("net-retransmits", res.Net.Retransmits)
+	if r.rules != nil {
+		evals, visited := r.rules.EvalStats()
+		res.Snapshot.Label("classifier", r.rules.Classifier().String())
+		res.Snapshot.Count("net-rule-denied", res.Net.RuleDenied)
+		res.Snapshot.Count("fw-evals", evals)
+		res.Snapshot.Count("fw-visited", visited)
+	}
 	return res, nil
 }
 
@@ -311,7 +331,81 @@ func (r *runner) apply(ev EventSpec) {
 				r.net.SetLinkUp(h, true)
 			}
 		}
+	case ActionAddRule:
+		src, dst := r.rulePrefix(ev.Src), r.rulePrefix(ev.Dst)
+		action := netem.ActionCount
+		switch ev.Rule {
+		case "deny":
+			action = netem.ActionDeny
+		case "allow":
+			action = netem.ActionAccept
+		}
+		copies := ev.Copies
+		if copies == 0 {
+			copies = 1
+		}
+		// Every copy of the batch shares one rule number (duplicates
+		// are legal, evaluated in insertion order), so one del-rule
+		// with that id retires the whole batch.
+		id := ev.ID
+		if id == 0 {
+			id = r.rules.NextID()
+		}
+		r.rules.AddCopies(netem.Rule{ID: id, Src: src, Dst: dst, Action: action}, copies)
+		r.event("add-rule %s %d× id %d from %v to %v (table %d, %s)",
+			ev.Rule, copies, id, src, dst, r.rules.Len(), r.rules.Classifier())
+	case ActionDelRule:
+		n := r.rules.Remove(ev.ID)
+		r.event("del-rule id %d removed %d (table %d)", ev.ID, n, r.rules.Len())
+	case ActionDenyPfx:
+		r.event("deny-prefix %s", strings.Join(ev.Groups, ","))
+		var handles []netem.RuleHandle
+		for _, g := range ev.Groups {
+			pfx := r.prefix[g]
+			// Firewall the group's uplink, with partition semantics:
+			// members still reach each other (the leading intra-group
+			// accept terminates evaluation, the ipfw idiom), while
+			// traffic crossing the group boundary is denied in both
+			// directions. A pinned ID shares one rule number across the
+			// event so a later del-rule can lift it; otherwise the
+			// rules get auto-assigned numbers.
+			id := ev.ID
+			if id == 0 {
+				id = r.rules.NextID()
+			}
+			handles = append(handles,
+				r.rules.AddHandle(netem.Rule{ID: id, Src: pfx, Dst: pfx, Action: netem.ActionAccept}),
+				r.rules.AddHandle(netem.Rule{ID: id, Src: pfx, Action: netem.ActionDeny}),
+				r.rules.AddHandle(netem.Rule{ID: id, Dst: pfx, Action: netem.ActionDeny}))
+		}
+		if ev.For > 0 {
+			// The revert removes exactly the rule instances this event
+			// added — handles pin (ID, insertion), so an explicit
+			// del-rule in between makes the removal a no-op, and an
+			// overlapping event sharing the pinned ID keeps its own
+			// rules until its own revert.
+			r.k.After(ev.For.D(), func() {
+				for _, h := range handles {
+					r.rules.RemoveHandle(h)
+				}
+				r.event("deny-prefix lifted on %s", strings.Join(ev.Groups, ","))
+			})
+		}
 	}
+}
+
+// rulePrefix resolves an add-rule match side: empty matches everything,
+// a group name resolves to the group's address block, anything else is
+// a CIDR prefix (validated by Spec.Validate).
+func (r *runner) rulePrefix(s string) ip.Prefix {
+	if s == "" {
+		return ip.Prefix{}
+	}
+	if pfx, ok := r.prefix[s]; ok {
+		return pfx
+	}
+	pfx, _ := ip.ParsePrefix(s)
+	return pfx
 }
 
 func (r *runner) heal(a, b []string) {

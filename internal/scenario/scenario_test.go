@@ -125,6 +125,37 @@ func TestValidationRejects(t *testing.T) {
 		}, "does not support a duration"},
 		{"path separator in name", func(s *Spec) { s.Name = "a/b" }, "only letters"},
 		{"traversal in name", func(s *Spec) { s.Name = "../x" }, "only letters"},
+		{"bad classifier", func(s *Spec) { s.Classifier = "hash" }, "unknown classifier"},
+		{"add-rule bad body", func(s *Spec) {
+			s.Timeline = []EventSpec{{Action: ActionAddRule, Rule: "fwd"}}
+		}, "unknown rule body"},
+		{"add-rule bad side", func(s *Spec) {
+			s.Timeline = []EventSpec{{Action: ActionAddRule, Rule: "count", Src: "nowhere"}}
+		}, "neither a group nor a prefix"},
+		{"add-rule too many copies", func(s *Spec) {
+			s.Timeline = []EventSpec{{Action: ActionAddRule, Rule: "count", Copies: maxRuleCopies + 1}}
+		}, "copies outside"},
+		{"add-rule with for", func(s *Spec) {
+			s.Timeline = []EventSpec{{Action: ActionAddRule, Rule: "count", For: Duration(time.Second)}}
+		}, "does not support a duration"},
+		{"del-rule without id", func(s *Spec) {
+			s.Timeline = []EventSpec{{Action: ActionDelRule}}
+		}, "positive rule id"},
+		{"deny-prefix unknown group", func(s *Spec) {
+			s.Timeline = []EventSpec{{Action: ActionDenyPfx, Groups: []string{"x"}}}
+		}, "unknown group"},
+		{"rule fields on non-rule action", func(s *Spec) {
+			s.Timeline = []EventSpec{{Action: ActionDenyPfx, Groups: []string{"g"}, Rule: "deny"}}
+		}, "does not use the add-rule fields"},
+		{"rule id on non-rule action", func(s *Spec) {
+			s.Timeline = []EventSpec{{Action: ActionLinkDown, Groups: []string{"g"}, ID: 100}}
+		}, "does not use a rule id"},
+		{"permanent deny-prefix without id", func(s *Spec) {
+			s.Timeline = []EventSpec{{Action: ActionDenyPfx, Groups: []string{"g"}}}
+		}, "needs a pinned id"},
+		{"groups on add-rule", func(s *Spec) {
+			s.Timeline = []EventSpec{{Action: ActionAddRule, Rule: "deny", Groups: []string{"g"}}}
+		}, "does not use groups"},
 	}
 	for _, tc := range cases {
 		sp := base()
@@ -244,6 +275,60 @@ func TestTimelineFires(t *testing.T) {
 	// set-class: 7 scenario.event records.
 	if got := lg.Count("scenario.event"); got != 7 {
 		t.Errorf("scenario.event count = %d, want 7", got)
+	}
+}
+
+// TestFirewallTimeline: rule events install a firewall (classifier
+// label + fw counters on the snapshot), deny-prefix actually denies
+// traffic, and a deny-prefix with a duration behaves like the same
+// partition: the swarm finishes later than the unfirewalled baseline.
+func TestFirewallTimeline(t *testing.T) {
+	baseline, err := Run(testSwarmSpec(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := baseline.Snapshot.Labels["classifier"]; ok {
+		t.Fatal("baseline run grew a firewall")
+	}
+
+	fw := testSwarmSpec()
+	fw.Timeline = []EventSpec{
+		{At: Duration(2 * time.Second), Action: ActionAddRule,
+			Rule: "count", Src: "172.16.9.0/24", ID: 9000, Copies: 50},
+		{At: Duration(10 * time.Second), Action: ActionDenyPfx,
+			Groups: []string{"right"}, For: Duration(120 * time.Second)},
+		{At: Duration(200 * time.Second), Action: ActionDelRule, ID: 9000},
+	}
+	lg := trace.New(0)
+	cut, err := Run(fw, Options{Trace: lg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cut.Snapshot.Labels["classifier"]; got != "linear" {
+		t.Fatalf("classifier label = %q, want linear", got)
+	}
+	if cut.Snapshot.Counters["net-rule-denied"] == 0 {
+		t.Error("no attempts denied by the firewall")
+	}
+	if lg.Count("net.deny") == 0 {
+		t.Error("no net.deny events on the trace")
+	}
+	// add-rule + deny-prefix + lift + del-rule = 4 scenario.event records.
+	if got := lg.Count("scenario.event"); got != 4 {
+		t.Errorf("scenario.event count = %d, want 4", got)
+	}
+	lastOf := func(r *Result) float64 {
+		var last float64
+		for _, c := range r.Completions {
+			if c > 0 && c.Seconds() > last {
+				last = c.Seconds()
+			}
+		}
+		return last
+	}
+	if cut.Done == cut.Total && lastOf(cut) <= lastOf(baseline) {
+		t.Errorf("deny-prefix did not slow the swarm: baseline %gs, firewalled %gs",
+			lastOf(baseline), lastOf(cut))
 	}
 }
 

@@ -110,16 +110,26 @@ type WorkloadSpec struct {
 
 // Timeline actions.
 const (
-	ActionPartition = "partition" // split A-side groups from B-side groups
-	ActionHeal      = "heal"      // remove the partition between A and B
-	ActionSetClass  = "set-class" // re-rate Groups' access links to Class
-	ActionLoss      = "loss"      // loss burst on Groups' links for For
-	ActionLinkDown  = "link-down" // take Groups' interfaces down
-	ActionLinkUp    = "link-up"   // bring Groups' interfaces back up
+	ActionPartition = "partition"   // split A-side groups from B-side groups
+	ActionHeal      = "heal"        // remove the partition between A and B
+	ActionSetClass  = "set-class"   // re-rate Groups' access links to Class
+	ActionLoss      = "loss"        // loss burst on Groups' links for For
+	ActionLinkDown  = "link-down"   // take Groups' interfaces down
+	ActionLinkUp    = "link-up"     // bring Groups' interfaces back up
+	ActionAddRule   = "add-rule"    // install firewall rule(s) (Src/Dst/Rule/ID/Copies)
+	ActionDelRule   = "del-rule"    // remove every firewall rule with ID
+	ActionDenyPfx   = "deny-prefix" // firewall Groups off (deny to and from), For auto-reverts
 )
 
 // actions lists the known timeline actions.
-var actions = []string{ActionPartition, ActionHeal, ActionSetClass, ActionLoss, ActionLinkDown, ActionLinkUp}
+var actions = []string{ActionPartition, ActionHeal, ActionSetClass, ActionLoss,
+	ActionLinkDown, ActionLinkUp, ActionAddRule, ActionDelRule, ActionDenyPfx}
+
+// ruleActions lists the rule bodies an add-rule event may install.
+var ruleActions = []string{"count", "deny", "allow"}
+
+// maxRuleCopies caps one add-rule event's filler batch.
+const maxRuleCopies = 100000
 
 // EventSpec is one scheduled network event on the scenario timeline.
 type EventSpec struct {
@@ -140,24 +150,65 @@ type EventSpec struct {
 	// Loss: the burst drop probability in [0,1].
 	Loss float64 `json:"loss,omitempty"`
 
+	// Add-rule: the rule's match sides — each a CIDR prefix or a group
+	// name (resolved to the group's prefix); empty matches everything —
+	// and its body ("count", "deny" or "allow").
+	Src  string `json:"src,omitempty"`
+	Dst  string `json:"dst,omitempty"`
+	Rule string `json:"rule,omitempty"`
+
+	// Add-rule / del-rule / deny-prefix: the IPFW rule number. 0 on
+	// add-rule and deny-prefix auto-assigns the next free number;
+	// del-rule requires it and removes every rule carrying it. A
+	// permanent deny-prefix (no `for`) must pin an ID to be liftable
+	// by a later del-rule — auto-assigned numbers are not knowable to
+	// the spec author.
+	ID int `json:"id,omitempty"`
+
+	// Add-rule: install this many copies of the rule (a filler batch
+	// for table-size studies, Fig 6). 0 means 1.
+	Copies int `json:"copies,omitempty"`
+
 	// For auto-reverts the event after this duration: a partition
 	// heals, a loss burst restores the class loss rate, a downed link
-	// comes back up. Zero means permanent (until a matching heal /
-	// link-up / set-class event). Required for loss.
+	// comes back up, a deny-prefix lifts. Zero means permanent (until
+	// a matching heal / link-up / set-class / del-rule event).
+	// Required for loss.
 	For Duration `json:"for,omitempty"`
 }
 
 // Spec is one complete declarative scenario.
 type Spec struct {
-	Name        string        `json:"name"`
-	Description string        `json:"description,omitempty"`
-	Model       string        `json:"model,omitempty"` // pipe (default) | flow
-	Seed        int64         `json:"seed,omitempty"`
-	Horizon     Duration      `json:"horizon,omitempty"` // default 1h virtual
-	Groups      []GroupSpec   `json:"groups"`
-	Latencies   []LatencySpec `json:"latencies,omitempty"`
-	Workload    WorkloadSpec  `json:"workload"`
-	Timeline    []EventSpec   `json:"timeline,omitempty"`
+	Name        string   `json:"name"`
+	Description string   `json:"description,omitempty"`
+	Model       string   `json:"model,omitempty"` // pipe (default) | flow
+	Seed        int64    `json:"seed,omitempty"`
+	Horizon     Duration `json:"horizon,omitempty"` // default 1h virtual
+	// Classifier selects the firewall's classification algorithm
+	// ("linear" or "indexed"). Setting it — or scheduling any rule
+	// event on the timeline — gives the network a firewall table;
+	// otherwise the run has none (vnet.Config.Rules == nil) and its
+	// trace is byte-identical to pre-firewall builds.
+	Classifier string        `json:"classifier,omitempty"`
+	Groups     []GroupSpec   `json:"groups"`
+	Latencies  []LatencySpec `json:"latencies,omitempty"`
+	Workload   WorkloadSpec  `json:"workload"`
+	Timeline   []EventSpec   `json:"timeline,omitempty"`
+}
+
+// FirewallEnabled reports whether the run carries a firewall table: an
+// explicit classifier or any rule event on the timeline enables it.
+func (s *Spec) FirewallEnabled() bool {
+	if s.Classifier != "" {
+		return true
+	}
+	for _, ev := range s.Timeline {
+		switch ev.Action {
+		case ActionAddRule, ActionDelRule, ActionDenyPfx:
+			return true
+		}
+	}
+	return false
 }
 
 // Sanity bounds: scenarios describe emulation corpora, not arbitrary
@@ -255,6 +306,11 @@ func (s *Spec) Validate() error {
 	}
 	if _, err := netem.ParseModel(s.Model); err != nil {
 		return fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	if s.Classifier != "" {
+		if _, err := netem.ParseClassifier(s.Classifier); err != nil {
+			return fmt.Errorf("scenario %s: %w", s.Name, err)
+		}
 	}
 	if s.Horizon <= 0 {
 		return fmt.Errorf("scenario %s: horizon %v not positive", s.Name, s.Horizon)
@@ -389,11 +445,31 @@ func (s *Spec) validateEvent(ev EventSpec, groups map[string]bool) error {
 		return nil
 	}
 	switch ev.Action {
-	case ActionHeal, ActionLinkUp, ActionSetClass:
+	case ActionHeal, ActionLinkUp, ActionSetClass, ActionAddRule, ActionDelRule:
 		// These have no auto-revert; silently ignoring a duration would
 		// run a different scenario than the author wrote.
 		if ev.For > 0 {
 			return fmt.Errorf("%s does not support a duration (for); schedule the opposite event instead", ev.Action)
+		}
+	}
+	// The rule fields belong to add-rule (and ID to del-rule); ignoring
+	// them elsewhere would likewise run a different scenario than
+	// written (e.g. a deny-prefix author setting rule: "deny").
+	if ev.Action != ActionAddRule {
+		if ev.Src != "" || ev.Dst != "" || ev.Rule != "" || ev.Copies != 0 {
+			return fmt.Errorf("%s does not use the add-rule fields (src/dst/rule/copies)", ev.Action)
+		}
+		if ev.ID != 0 && ev.Action != ActionDelRule && ev.Action != ActionDenyPfx {
+			return fmt.Errorf("%s does not use a rule id", ev.Action)
+		}
+	}
+	switch ev.Action {
+	case ActionAddRule, ActionDelRule:
+		// The reverse of the check above: group/partition/link fields on
+		// a rule event would likewise be silently ignored (add-rule
+		// matches by src/dst, which may name a group).
+		if len(ev.Groups) > 0 || len(ev.A) > 0 || len(ev.B) > 0 || ev.Class != "" || ev.Loss != 0 {
+			return fmt.Errorf("%s does not use groups/a/b/class/loss; match by the src and dst fields", ev.Action)
 		}
 	}
 	switch ev.Action {
@@ -431,6 +507,48 @@ func (s *Spec) validateEvent(ev EventSpec, groups map[string]bool) error {
 	case ActionLinkDown, ActionLinkUp:
 		if err := checkGroups(ev.Groups, ev.Action); err != nil {
 			return err
+		}
+	case ActionAddRule:
+		known := false
+		for _, a := range ruleActions {
+			if a == ev.Rule {
+				known = true
+			}
+		}
+		if !known {
+			return fmt.Errorf("add-rule: unknown rule body %q (want %s)", ev.Rule, strings.Join(ruleActions, ", "))
+		}
+		for _, side := range []string{ev.Src, ev.Dst} {
+			if side == "" || groups[side] {
+				continue
+			}
+			if _, err := ip.ParsePrefix(side); err != nil {
+				return fmt.Errorf("add-rule: %q is neither a group nor a prefix: %w", side, err)
+			}
+		}
+		if ev.ID < 0 {
+			return fmt.Errorf("add-rule: negative rule id %d", ev.ID)
+		}
+		if ev.Copies < 0 || ev.Copies > maxRuleCopies {
+			return fmt.Errorf("add-rule: %d copies outside [0,%d]", ev.Copies, maxRuleCopies)
+		}
+	case ActionDelRule:
+		if ev.ID <= 0 {
+			return fmt.Errorf("del-rule: needs a positive rule id")
+		}
+	case ActionDenyPfx:
+		if err := checkGroups(ev.Groups, "deny-prefix"); err != nil {
+			return err
+		}
+		if ev.ID < 0 {
+			return fmt.Errorf("deny-prefix: negative rule id %d", ev.ID)
+		}
+		if ev.For == 0 && ev.ID == 0 {
+			// Auto-assigned rule numbers are not knowable to the spec
+			// author, so a permanent deny without a pinned id could
+			// never be lifted by del-rule — reject rather than let the
+			// author believe it is revertible.
+			return fmt.Errorf("deny-prefix: a permanent deny (no for) needs a pinned id so a del-rule can lift it")
 		}
 	}
 	return nil

@@ -53,6 +53,12 @@ type Config struct {
 	PerMessageCPU time.Duration
 	// PerRuleCost is the firewall's linear-scan cost per rule visited.
 	PerRuleCost time.Duration
+	// Classifier selects each physical node's packet classifier:
+	// netem.ClassifierLinear (the zero value) is the faithful IPFW
+	// linear scan; netem.ClassifierIndexed is the hash-indexed
+	// ablation, now runnable end-to-end (`p2plab -fig 6 -classifier
+	// indexed` shows the near-flat curve IPFW could not offer).
+	Classifier netem.Classifier
 	// Topo supplies inter-group latencies and group definitions for the
 	// latency rules. May be nil for a flat cluster.
 	Topo *topo.Topology
@@ -136,6 +142,7 @@ func NewCluster(k *sim.Kernel, n int, cfg Config) (*Cluster, error) {
 			groupSeen: make(map[[2]string]bool),
 		}
 		pn.rules.PerRuleCost = cfg.PerRuleCost
+		pn.rules.SetClassifier(cfg.Classifier)
 		if cfg.CPUBytesPerSec > 0 {
 			pn.cpu = netem.NewPipe(k, name+"/cpu", netem.PipeConfig{Bandwidth: cfg.CPUBytesPerSec * 8})
 		}

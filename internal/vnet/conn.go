@@ -281,7 +281,11 @@ func (l *Listener) AcceptTimeout(p *sim.Proc, d sim.Duration) (*Conn, bool, erro
 	return c, ok, err
 }
 
-// Close stops accepting. Pending backlog connections are refused.
+// Close stops accepting. Pending backlog connections are refused: each
+// queued connection was already SYN-ACK'd and registered, so the
+// dialer side is established — closing the backlog alone would leave
+// those dialers half-open forever. Draining sends each one an RST
+// (dialers see ErrClosed) and deregisters the local side.
 func (l *Listener) Close() {
 	if l.closed {
 		return
@@ -289,4 +293,16 @@ func (l *Listener) Close() {
 	l.closed = true
 	delete(l.h.ports, l.port)
 	l.backlog.Close()
+	for {
+		c, ok := l.backlog.TryRecv()
+		if !ok {
+			break
+		}
+		c.closed = true
+		delete(l.h.conns, c.id)
+		c.abort()
+		l.h.net.transmit(l.h, message{
+			kind: kindRst, src: c.local, dst: c.remote, size: 20, connID: c.id,
+		}, true)
+	}
 }

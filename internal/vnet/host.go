@@ -200,6 +200,12 @@ func (h *Host) deliver(m message) {
 				c.refused = true
 				c.hs.Broadcast()
 			} else {
+				// A reset of an established connection (e.g. the peer's
+				// listener closed with this conn still in its backlog)
+				// tears the endpoint down: further sends fail and the
+				// reader observes the close.
+				delete(h.conns, m.connID)
+				c.closed = true
 				c.abort()
 			}
 		}

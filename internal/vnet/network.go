@@ -93,6 +93,18 @@ type Config struct {
 	// across concurrent transfers; see repro/internal/flow). One
 	// option flips a whole experiment between the two.
 	Model netem.ModelKind
+	// Rules, when non-nil, is the network-wide IPFW-style firewall:
+	// every transmission attempt is classified src→dst through the
+	// table, matched ActionPipe pipes stack onto the path (Dummynet
+	// one-pass mode), an ActionDeny drops the attempt before any pipe
+	// is charged (reliable traffic then behaves exactly as under a
+	// partition: retransmit with backoff, reset on exhaustion, heal
+	// transparently if the rule is removed in time), and the
+	// evaluation cost — Visited × PerRuleCost, the paper's Fig 6
+	// artifact — is charged to virtual time ahead of serialization.
+	// nil (the default) skips classification entirely: traces are
+	// byte-identical to a network without this field.
+	Rules *netem.RuleSet
 }
 
 // DefaultConfig returns the standard configuration.
@@ -293,6 +305,10 @@ type NetworkStats struct {
 	MessagesDropped   uint64
 	Retransmits       uint64
 	BytesDelivered    uint64
+	// RuleDenied counts transmission attempts dropped by a firewall
+	// ActionDeny rule (each retransmission attempt of the same message
+	// counts once, mirroring how partitions account drops).
+	RuleDenied uint64
 }
 
 // NewNetwork creates a network on kernel k. fabric may be nil.
@@ -325,6 +341,12 @@ func (n *Network) FlowStats() (flow.Stats, bool) {
 	}
 	return flow.Stats{}, false
 }
+
+// Rules returns the network firewall table, or nil when the network
+// runs without one. The table may be mutated at run time (scenario
+// policy churn); under netem.ClassifierIndexed the index follows
+// incrementally.
+func (n *Network) Rules() *netem.RuleSet { return n.cfg.Rules }
 
 // Kernel returns the kernel the network runs on.
 func (n *Network) Kernel() *sim.Kernel { return n.k }
@@ -476,9 +498,32 @@ func (n *Network) attempt(src, dst *Host, m message, route Route, tries int, sta
 		failed()
 		return
 	}
-	pipes := make([]*netem.Pipe, 0, 2+len(route.Pipes))
+	// Firewall classification (DESIGN.md decision 7). Every attempt is
+	// classified — each packet traversal pays the rule-evaluation cost,
+	// as in ipfw — so a deny rule added or removed mid-run takes effect
+	// on the next retransmission, exactly like a partition.
+	var ruled []*netem.Pipe
+	if n.cfg.Rules != nil {
+		v := n.cfg.Rules.Eval(m.src.Addr, m.dst.Addr)
+		// The scan is paid before the verdict applies (as in ipfw, and
+		// as virt.Cluster.Route orders it): a denied attempt still
+		// advances its retransmission schedule by the evaluation cost.
+		start = start.Add(v.Cost)
+		if v.Deny {
+			n.stats.RuleDenied++
+			if n.tracer != nil {
+				n.tracer.Add(n.k.Now(), "net.deny", m.src.Addr.String(),
+					"%d B to %v denied by firewall", size, m.dst)
+			}
+			failed()
+			return
+		}
+		ruled = v.Pipes
+	}
+	pipes := make([]*netem.Pipe, 0, 2+len(route.Pipes)+len(ruled))
 	pipes = append(pipes, src.up)
 	pipes = append(pipes, route.Pipes...)
+	pipes = append(pipes, ruled...)
 	pipes = append(pipes, dst.down)
 
 	n.model.Transfer(start, size, pipes, n.k.Rand(), func(exit sim.Time, ok bool) {

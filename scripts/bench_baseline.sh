@@ -5,15 +5,17 @@
 #   scripts/bench_baseline.sh check         # run now and diff against it
 #
 # The recorded set covers the kernel hot path (event dispatch under the
-# two queue implementations), the figure-level scheduler workload, and
-# the flow-solver churn path (incremental component re-solve): the
-# benchmarks whose trajectory the queue/pooling/flow work is expected
-# to move. Compare machines with a grain of salt — the baseline is only
-# meaningful against runs on comparable hardware.
+# two queue implementations), the figure-level scheduler workload, the
+# flow-solver churn path (incremental component re-solve), and the
+# firewall classifier (linear scan vs hash index over a 50k-rule
+# table): the benchmarks whose trajectory the queue/pooling/flow/
+# classifier work is expected to move. Compare machines with a grain of
+# salt — the baseline is only meaningful against runs on comparable
+# hardware.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-PATTERN='BenchmarkKernelModes|BenchmarkKernelQueues|BenchmarkFig1SchedulerScaling|BenchmarkSweep|BenchmarkFlowChurn'
+PATTERN='BenchmarkKernelModes|BenchmarkKernelQueues|BenchmarkFig1SchedulerScaling|BenchmarkSweep|BenchmarkFlowChurn|BenchmarkRuleEval'
 OUT=BENCH_baseline.json
 
 run() {
