@@ -33,12 +33,17 @@ type Document struct {
 func main() {
 	diff := flag.Bool("diff", false, "compare two recorded documents (old new) instead of converting stdin")
 	tolerance := flag.Float64("tolerance", 0.25, "with -diff: fail if ns/op regresses by more than this fraction")
+	ratioSpec := flag.String("ratio", "", "with -diff: comma-separated name=max pairs pinning new/old ns/op per benchmark (prefix match, overrides -tolerance)")
 	flag.Parse()
 	if *diff {
 		if flag.NArg() != 2 {
 			fatal(fmt.Errorf("-diff needs exactly two files, got %d", flag.NArg()))
 		}
-		if err := runDiff(flag.Arg(0), flag.Arg(1), *tolerance); err != nil {
+		ratios, err := parseRatios(*ratioSpec)
+		if err != nil {
+			fatal(err)
+		}
+		if err := runDiff(flag.Arg(0), flag.Arg(1), *tolerance, ratios); err != nil {
 			fatal(err)
 		}
 		return
@@ -116,9 +121,46 @@ func load(path string) (map[string]Benchmark, error) {
 	return out, nil
 }
 
+// parseRatios reads comma-separated name=max pairs. Names match
+// benchmarks by prefix, so a spec can omit the -N GOMAXPROCS suffix go
+// test appends to parallel benchmark names.
+func parseRatios(spec string) (map[string]float64, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	out := map[string]float64{}
+	for _, pair := range strings.Split(spec, ",") {
+		eq := strings.LastIndex(pair, "=")
+		if eq <= 0 {
+			return nil, fmt.Errorf("-ratio entry %q is not name=max", pair)
+		}
+		max, err := strconv.ParseFloat(pair[eq+1:], 64)
+		if err != nil || max <= 0 {
+			return nil, fmt.Errorf("-ratio entry %q: max must be a positive number", pair)
+		}
+		out[pair[:eq]] = max
+	}
+	return out, nil
+}
+
+// ratioFor returns the longest-prefix -ratio spec matching name.
+func ratioFor(ratios map[string]float64, name string) (float64, bool) {
+	best := -1
+	var max float64
+	for prefix, m := range ratios {
+		if strings.HasPrefix(name, prefix) && len(prefix) > best {
+			best, max = len(prefix), m
+		}
+	}
+	return max, best >= 0
+}
+
 // runDiff prints old vs new per shared benchmark and exits nonzero if
-// any ns/op regression exceeds the tolerance.
-func runDiff(oldPath, newPath string, tolerance float64) error {
+// any ns/op regression exceeds the tolerance, or any -ratio-pinned
+// benchmark exceeds its new/old ceiling. Every -ratio spec must match
+// at least one shared benchmark — a gate that matches nothing is a
+// misconfiguration, not a pass.
+func runDiff(oldPath, newPath string, tolerance float64, ratios map[string]float64) error {
 	oldB, err := load(oldPath)
 	if err != nil {
 		return err
@@ -138,6 +180,7 @@ func runDiff(oldPath, newPath string, tolerance float64) error {
 		return fmt.Errorf("no shared benchmarks between %s and %s", oldPath, newPath)
 	}
 	regressed := 0
+	matched := map[string]bool{}
 	fmt.Printf("%-55s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "delta")
 	for _, name := range names {
 		o, n := oldB[name].Metrics["ns/op"], newB[name].Metrics["ns/op"]
@@ -146,14 +189,32 @@ func runDiff(oldPath, newPath string, tolerance float64) error {
 		}
 		delta := (n - o) / o
 		flag := ""
-		if delta > tolerance {
+		if max, ok := ratioFor(ratios, name); ok {
+			matched[name] = true
+			if n > max*o {
+				flag = fmt.Sprintf("  REGRESSED (ratio %.2f > %.2f)", n/o, max)
+				regressed++
+			}
+		} else if delta > tolerance {
 			flag = "  REGRESSED"
 			regressed++
 		}
 		fmt.Printf("%-55s %14.1f %14.1f %+7.1f%%%s\n", name, o, n, 100*delta, flag)
 	}
+	for prefix := range ratios {
+		found := false
+		for name := range matched {
+			if strings.HasPrefix(name, prefix) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("-ratio %s matched no shared benchmark", prefix)
+		}
+	}
 	if regressed > 0 {
-		return fmt.Errorf("%d benchmark(s) regressed beyond %.0f%%", regressed, 100*tolerance)
+		return fmt.Errorf("%d benchmark(s) regressed beyond their bounds", regressed)
 	}
 	return nil
 }

@@ -25,6 +25,7 @@ func sweepMain(args []string) error {
 	churn := fs.String("churn", "", "comma-separated churn fractions in [0,1)")
 	classes := fs.String("class", "", "comma-separated link classes (dsl, modem, slow-dsl, fast-dsl, campus, office, lan)")
 	models := fs.String("model", "", "comma-separated link models (pipe, flow)")
+	windows := fs.String("window", "", "comma-separated flow-model batch windows (e.g. 0,50ms,250ms; needs -model flow)")
 	scenarios := fs.String("scenario", "", "comma-separated corpus scenario names (scenario experiment; default: all)")
 	rules := fs.String("rules", "", "comma-separated firewall rule-table sizes (ping and swarm families)")
 	classifiers := fs.String("classifier", "", "comma-separated firewall classifiers (linear, indexed)")
@@ -61,6 +62,9 @@ func sweepMain(args []string) error {
 	}
 	if g.Models, err = parseModels(*models); err != nil {
 		return fmt.Errorf("-model: %w", err)
+	}
+	if g.Windows, err = parseDurations(*windows); err != nil {
+		return fmt.Errorf("-window: %w", err)
 	}
 	if g.Rules, err = parseInts(*rules); err != nil {
 		return fmt.Errorf("-rules: %w", err)
@@ -139,6 +143,24 @@ func parseFloats(s string) ([]float64, error) {
 	var out []float64
 	for _, f := range splitList(s) {
 		v, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseDurations(s string) ([]time.Duration, error) {
+	var out []time.Duration
+	for _, f := range splitList(s) {
+		// "0" reads naturally in a window list; ParseDuration demands a
+		// unit, so accept the bare zero explicitly.
+		if f == "0" {
+			out = append(out, 0)
+			continue
+		}
+		v, err := time.ParseDuration(f)
 		if err != nil {
 			return nil, err
 		}

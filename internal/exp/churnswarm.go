@@ -29,6 +29,9 @@ type ChurnSwarmParams struct {
 	Downtime churn.Lifetime
 	// Model selects pipe-level or flow-level link emulation.
 	Model netem.ModelKind
+	// Window batches the flow model's re-rate solves
+	// (vnet.Config.FlowWindow); ignored under the pipe model.
+	Window time.Duration
 	// Rules and Classifier configure the network firewall exactly as
 	// in SwarmParams; 0 rules means no firewall.
 	Rules      int
@@ -70,6 +73,7 @@ func RunChurnSwarm(cp ChurnSwarmParams) (*ChurnSwarmOutcome, error) {
 	k := sim.New(cp.Seed)
 	ncfg := vnet.DefaultConfig()
 	ncfg.Model = cp.Model
+	ncfg.FlowWindow = cp.Window
 	ncfg.Rules = fillerRules(cp.Rules, cp.Classifier)
 	net := vnet.NewNetwork(k, nil, ncfg)
 	trackerHost, err := net.AddHostClass(ip.MustParseAddr("10.250.0.1"), topo.LAN)

@@ -26,6 +26,9 @@ type PingParams struct {
 	Class topo.LinkClass
 	// Model selects pipe- or flow-level link emulation.
 	Model netem.ModelKind
+	// Window batches the flow model's re-rate solves
+	// (vnet.Config.FlowWindow); ignored under the pipe model.
+	Window time.Duration
 	// Pings is the number of echo round trips (default 10).
 	Pings int
 	Seed  int64
@@ -59,6 +62,7 @@ func RunPing(pp PingParams) (*PingOutcome, error) {
 	rs := netem.NewFillerTable(pp.Rules, pp.Classifier)
 	cfg := vnet.DefaultConfig()
 	cfg.Model = pp.Model
+	cfg.FlowWindow = pp.Window
 	cfg.Rules = rs
 	n := vnet.NewNetwork(k, nil, cfg)
 	a, err := n.AddHostClass(ip.MustParseAddr("10.0.0.1"), pp.Class)

@@ -37,6 +37,9 @@ type SwarmParams struct {
 	// Model selects pipe-level (default) or flow-level link emulation
 	// for the whole experiment.
 	Model netem.ModelKind
+	// Window batches the flow model's re-rate solves
+	// (vnet.Config.FlowWindow); ignored under the pipe model.
+	Window time.Duration
 	// Rules pads the network firewall with this many filler rules
 	// (never matching swarm traffic): every message then pays the
 	// classification cost, the Fig 6 artifact applied to a whole
@@ -159,6 +162,7 @@ func RunSwarm(sp SwarmParams) (*SwarmOutcome, error) {
 	}
 	ncfg := vnet.DefaultConfig()
 	ncfg.Model = sp.Model
+	ncfg.FlowWindow = sp.Window
 	ncfg.Rules = fillerRules(sp.Rules, sp.Classifier)
 	net := vnet.NewNetwork(k, fabric, ncfg)
 

@@ -65,6 +65,7 @@ type Grid struct {
 	Churn       []float64          // churn fractions in [0,1); swarm-family only
 	Classes     []topo.LinkClass   // access-link classes
 	Models      []netem.ModelKind  // link-emulation models (pipe, flow)
+	Windows     []time.Duration    // flow-model batch windows; needs the flow model on the models axis
 	Scenarios   []string           // corpus scenario names; scenario experiment only
 	Rules       []int              // firewall rule-table sizes; ping and swarm families
 	Classifiers []netem.Classifier // firewall classifiers (linear, indexed)
@@ -85,7 +86,8 @@ type Cell struct {
 	Churn      float64
 	Class      topo.LinkClass
 	Model      netem.ModelKind
-	Scenario   string // scenario experiment only
+	Window     time.Duration // flow-model batch window; always 0 for pipe cells
+	Scenario   string        // scenario experiment only
 	Rules      int    // firewall rule-table size; ping and swarm families
 	Classifier netem.Classifier
 	Seed       int64
@@ -101,12 +103,16 @@ func (c Cell) String() string {
 	if c.Experiment == ExpScenario {
 		return fmt.Sprintf("%s[%s seed=%d]", c.Experiment, c.Scenario, c.Seed)
 	}
-	if c.Experiment == ExpPing || (c.Experiment.usesRulesAxis() && c.Rules > 0) {
-		return fmt.Sprintf("%s[peers=%d churn=%g class=%s model=%s rules=%d classifier=%s seed=%d]",
-			c.Experiment, c.Peers, c.Churn, c.Class.Name, c.Model, c.Rules, c.Classifier, c.Seed)
+	win := ""
+	if c.Window > 0 {
+		win = fmt.Sprintf(" window=%s", c.Window)
 	}
-	return fmt.Sprintf("%s[peers=%d churn=%g class=%s model=%s seed=%d]",
-		c.Experiment, c.Peers, c.Churn, c.Class.Name, c.Model, c.Seed)
+	if c.Experiment == ExpPing || (c.Experiment.usesRulesAxis() && c.Rules > 0) {
+		return fmt.Sprintf("%s[peers=%d churn=%g class=%s model=%s%s rules=%d classifier=%s seed=%d]",
+			c.Experiment, c.Peers, c.Churn, c.Class.Name, c.Model, win, c.Rules, c.Classifier, c.Seed)
+	}
+	return fmt.Sprintf("%s[peers=%d churn=%g class=%s model=%s%s seed=%d]",
+		c.Experiment, c.Peers, c.Churn, c.Class.Name, c.Model, win, c.Seed)
 }
 
 // usesChurnAxis reports whether the experiment reads the churn axis.
@@ -128,6 +134,12 @@ func (e Experiment) usesModelAxis() bool { return e != ExpSched && e != ExpScena
 // rules and classifier axes: the Fig 6 ping sweep and the swarm
 // families (every message of a firewalled swarm pays the scan).
 func (e Experiment) usesRulesAxis() bool { return e == ExpPing || e == ExpSwarm || e == ExpChurn }
+
+// usesWindowAxis reports whether the experiment reads the flow-model
+// batch-window axis: the vnet families whose runners take a network
+// config (a scenario spec owns its own flow_window knob; the DHT and
+// gossip models keep their fixed signatures; sched has no network).
+func (e Experiment) usesWindowAxis() bool { return e == ExpSwarm || e == ExpChurn || e == ExpPing }
 
 // Cells expands the grid into its cells, in row-major grid order
 // (peers, then churn, then class, then model, then scenario, then
@@ -202,6 +214,11 @@ func (g Grid) Cells() ([]Cell, error) {
 		scenarios = []string{""}
 	}
 
+	windows := g.Windows
+	if len(windows) == 0 {
+		windows = []time.Duration{0}
+	}
+
 	ruleCounts := g.Rules
 	if len(ruleCounts) == 0 {
 		ruleCounts = []int{0}
@@ -222,6 +239,38 @@ func (g Grid) Cells() ([]Cell, error) {
 	}
 	if !exp.usesModelAxis() && len(models) > 1 {
 		return nil, fmt.Errorf("exp: %s ignores the model axis; %d values would duplicate cells", exp, len(models))
+	}
+	if !exp.usesWindowAxis() && len(g.Windows) > 0 {
+		return nil, fmt.Errorf("exp: %s ignores the flow-window axis", exp)
+	}
+	if len(g.Windows) > 0 {
+		seenWindow := map[time.Duration]bool{}
+		anyPositive := false
+		for _, w := range g.Windows {
+			if w < 0 {
+				return nil, fmt.Errorf("exp: negative flow window %v", w)
+			}
+			if seenWindow[w] {
+				return nil, fmt.Errorf("exp: duplicate window axis value %v", w)
+			}
+			seenWindow[w] = true
+			if w > 0 {
+				anyPositive = true
+			}
+		}
+		if anyPositive {
+			// The window only exists inside the flow solver; a pipe-only
+			// sweep would silently run every window value identically.
+			anyFlow := false
+			for _, mdl := range models {
+				if mdl == netem.ModelFlow {
+					anyFlow = true
+				}
+			}
+			if !anyFlow {
+				return nil, fmt.Errorf("exp: the window axis needs the flow model on the models axis (the pipe model has no solver to batch)")
+			}
+		}
 	}
 	if !exp.usesRulesAxis() && (len(g.Rules) > 0 || len(g.Classifiers) > 0) {
 		// Even a single explicit value is rejected: these axes request a
@@ -315,25 +364,36 @@ func (g Grid) Cells() ([]Cell, error) {
 		for _, ch := range churns {
 			for _, cl := range classes {
 				for _, mdl := range models {
-					for _, sc := range scenarios {
-						for _, rc := range ruleCounts {
-							for cfIdx, cf := range classifiers {
-								// An empty table behaves identically under
-								// every classifier (the swarm families do
-								// not even install one), so rules=0 emits
-								// a single baseline cell — the expansion
-								// stays duplicate-free.
-								if rc == 0 && cfIdx > 0 {
-									continue
-								}
-								for _, s := range seeds {
-									cells = append(cells, Cell{
-										Index: len(cells), Experiment: exp,
-										Peers: p, Churn: ch, Class: cl, Model: mdl,
-										Scenario: sc, Rules: rc, Classifier: cf, Seed: s,
-										fileSize: fileSize, lookups: lookups,
-										fanout: fanout, horizon: horizon,
-									})
+					for wIdx, win := range windows {
+						// The batch window lives inside the flow solver, so
+						// pipe cells collapse to a single window=0 cell —
+						// the expansion stays duplicate-free.
+						if mdl != netem.ModelFlow {
+							if wIdx > 0 {
+								continue
+							}
+							win = 0
+						}
+						for _, sc := range scenarios {
+							for _, rc := range ruleCounts {
+								for cfIdx, cf := range classifiers {
+									// An empty table behaves identically under
+									// every classifier (the swarm families do
+									// not even install one), so rules=0 emits
+									// a single baseline cell — the expansion
+									// stays duplicate-free.
+									if rc == 0 && cfIdx > 0 {
+										continue
+									}
+									for _, s := range seeds {
+										cells = append(cells, Cell{
+											Index: len(cells), Experiment: exp,
+											Peers: p, Churn: ch, Class: cl, Model: mdl, Window: win,
+											Scenario: sc, Rules: rc, Classifier: cf, Seed: s,
+											fileSize: fileSize, lookups: lookups,
+											fanout: fanout, horizon: horizon,
+										})
+									}
 								}
 							}
 						}
@@ -504,6 +564,13 @@ func RunCell(c Cell) (*metrics.Snapshot, error) {
 		snap.Label("churn", fmt.Sprintf("%g", c.Churn))
 		snap.Label("class", c.Class.Name)
 		snap.Label("model", c.Model.String())
+		// Only the flow model has a solver to batch, so a window label
+		// on a pipe cell would claim a knob that never ran; window=0
+		// flow cells are the legacy per-event behavior and stay
+		// label-compatible with older sweeps.
+		if c.Window > 0 {
+			snap.Label("window", c.Window.String())
+		}
 	}
 	if c.Experiment.usesRulesAxis() {
 		snap.Label("rules", fmt.Sprintf("%d", c.Rules))
@@ -552,6 +619,7 @@ func runPingCell(c Cell, snap *metrics.Snapshot) error {
 		Classifier: c.Classifier,
 		Class:      c.Class,
 		Model:      c.Model,
+		Window:     c.Window,
 		Seed:       c.Seed,
 	})
 	if err != nil {
@@ -577,6 +645,7 @@ func runSwarmCell(c Cell, snap *metrics.Snapshot) error {
 		StartInterval: 2 * time.Second,
 		Class:         c.Class,
 		Model:         c.Model,
+		Window:        c.Window,
 		Rules:         c.Rules,
 		Classifier:    c.Classifier,
 		Seed:          c.Seed,
@@ -616,6 +685,7 @@ func runChurnCell(c Cell, snap *metrics.Snapshot) error {
 		Session:       DefaultChurnSwarmParams().Session,
 		Downtime:      DefaultChurnSwarmParams().Downtime,
 		Model:         c.Model,
+		Window:        c.Window,
 		Rules:         c.Rules,
 		Classifier:    c.Classifier,
 		Seed:          c.Seed,

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/netem"
 	"repro/internal/topo"
 )
 
@@ -94,11 +95,64 @@ func TestGridRejectsDuplicates(t *testing.T) {
 		{Experiment: ExpChurn, Churn: []float64{1.5}},                            // churn outside [0,1)
 		{Experiment: ExpChurn, Churn: []float64{-0.5}},
 		{Experiment: "bogus"},
+		{Experiment: ExpDHT, Windows: []time.Duration{0, 50 * time.Millisecond}}, // dht ignores the window
+		{Experiment: ExpSwarm, Windows: []time.Duration{time.Millisecond, time.Millisecond}},
+		{Experiment: ExpSwarm, Windows: []time.Duration{-time.Millisecond}},
+		// A positive window with no flow model on the models axis has no
+		// solver to batch.
+		{Experiment: ExpSwarm, Windows: []time.Duration{50 * time.Millisecond}},
+		{Experiment: ExpSwarm, Windows: []time.Duration{50 * time.Millisecond},
+			Models: []netem.ModelKind{netem.ModelPipe}},
 	}
 	for i, g := range cases {
 		if _, err := g.Cells(); err == nil {
 			t.Errorf("case %d: expected error, got none", i)
 		}
+	}
+}
+
+// TestGridWindowAxis expands a models × windows grid: flow cells carry
+// every window, pipe cells collapse to a single window=0 cell instead
+// of duplicating per window value.
+func TestGridWindowAxis(t *testing.T) {
+	g := Grid{
+		Experiment: ExpSwarm,
+		Models:     []netem.ModelKind{netem.ModelPipe, netem.ModelFlow},
+		Windows:    []time.Duration{0, 50 * time.Millisecond, 250 * time.Millisecond},
+	}
+	cells, err := g.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 pipe cell + 3 flow cells.
+	if len(cells) != 4 {
+		t.Fatalf("expanded %d cells, want 4: %v", len(cells), cells)
+	}
+	var pipe, flow, windowed int
+	for _, c := range cells {
+		switch c.Model {
+		case netem.ModelPipe:
+			pipe++
+			if c.Window != 0 {
+				t.Fatalf("pipe cell carries window %v: %s", c.Window, c)
+			}
+		case netem.ModelFlow:
+			flow++
+			if c.Window > 0 {
+				windowed++
+				if !strings.Contains(c.String(), "window="+c.Window.String()) {
+					t.Fatalf("windowed cell label misses the window: %s", c)
+				}
+			}
+		}
+	}
+	if pipe != 1 || flow != 3 || windowed != 2 {
+		t.Fatalf("pipe=%d flow=%d windowed=%d, want 1/3/2", pipe, flow, windowed)
+	}
+	// Window=0 cells keep the pre-axis label so existing result rows
+	// stay comparable.
+	if s := cells[0].String(); strings.Contains(s, "window=") {
+		t.Fatalf("window=0 cell label changed: %s", s)
 	}
 }
 

@@ -267,7 +267,7 @@ func TestPipeStatsAccounting(t *testing.T) {
 	}
 	// 2 Mbit through a 1 Mbps pipe over the 2 s the run took: fully
 	// utilized.
-	if u := up.Utilization(0, k.Now()); u < 0.99 {
+	if u := up.Utilization(netem.PipeStats{}, 0, k.Now()); u < 0.99 {
 		t.Errorf("uplink utilization = %v, want ~1", u)
 	}
 }

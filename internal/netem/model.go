@@ -44,6 +44,17 @@ type ReconfigurableModel interface {
 	PipeReconfigured(p *Pipe)
 }
 
+// FlushableModel is implemented by link models that batch their
+// internal re-rating work (the flow model's epsilon-batched solver):
+// FlushBatch drains any coalesced churn immediately, at the current
+// virtual instant. Synchronization points — a pipe about to be
+// reconfigured, a caller about to read rates — call it so they observe
+// settled allocations rather than a half-drained window. It must be a
+// no-op when nothing is pending.
+type FlushableModel interface {
+	FlushBatch()
+}
+
 // ModelKind selects a LinkModel implementation by name; the zero value
 // is the pipe model, so existing configurations are unchanged.
 type ModelKind int

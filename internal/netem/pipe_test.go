@@ -160,9 +160,38 @@ func TestPipeUtilization(t *testing.T) {
 	p := NewPipe(k, "u", PipeConfig{Bandwidth: 8 * Mbps})
 	rng := testRNG()
 	p.ScheduleAt(0, 500_000, rng) // half a second of wire time
-	u := p.Utilization(0, sim.Time(time.Second))
+	u := p.Utilization(PipeStats{}, 0, sim.Time(time.Second))
 	if u < 0.49 || u > 0.51 {
 		t.Fatalf("utilization = %.3f, want ~0.5", u)
+	}
+}
+
+// TestPipeUtilizationInterval: Utilization honors its [from, to]
+// contract — only the bytes accepted inside the interval count, not
+// everything since boot. Regression: the lifetime Bytes counter used
+// to be divided by the interval's capacity, so a second phase with no
+// traffic still reported the first phase's utilization.
+func TestPipeUtilizationInterval(t *testing.T) {
+	k := sim.New(1)
+	p := NewPipe(k, "u2", PipeConfig{Bandwidth: 8 * Mbps})
+	rng := testRNG()
+	p.ScheduleAt(0, 500_000, rng) // phase 1: half a second of wire time
+	phase1 := p.Stats()
+
+	// Phase 2, [1s, 2s]: no traffic at all.
+	if u := p.Utilization(phase1, sim.Time(time.Second), sim.Time(2*time.Second)); u != 0 {
+		t.Fatalf("idle phase utilization = %.3f, want 0", u)
+	}
+	// Phase 2 with its own traffic reports only that traffic.
+	p.ScheduleAt(sim.Time(time.Second), 250_000, rng)
+	u := p.Utilization(phase1, sim.Time(time.Second), sim.Time(2*time.Second))
+	if u < 0.24 || u > 0.26 {
+		t.Fatalf("phase-2 utilization = %.3f, want ~0.25", u)
+	}
+	// The full-run view is unchanged by snapshotting.
+	u = p.Utilization(PipeStats{}, 0, sim.Time(2*time.Second))
+	if u < 0.36 || u > 0.39 {
+		t.Fatalf("lifetime utilization = %.3f, want ~0.375", u)
 	}
 }
 

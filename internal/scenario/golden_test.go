@@ -6,6 +6,7 @@ import (
 	"encoding/hex"
 	"fmt"
 	"testing"
+	"time"
 
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -54,6 +55,41 @@ func TestGoldenTraces(t *testing.T) {
 			}
 			if len(sp.Timeline) > 0 && lg.Count("scenario.event") == 0 {
 				t.Errorf("timeline scenario recorded no scenario.event")
+			}
+			t.Logf("digest %s (%d/%d done, ended %v)", first[:16], res.Done, res.Total, res.EndedAt)
+		})
+	}
+}
+
+// TestGoldenTracesWindowed extends the determinism property to the
+// batched solver: the flow-model corpus scenarios with a positive
+// batch window must still be byte-identical run over run and across
+// queue kinds — batching changes when flows are leveled, never
+// nondeterministically.
+func TestGoldenTracesWindowed(t *testing.T) {
+	for _, sp := range Corpus() {
+		if sp.Model != "flow" {
+			continue
+		}
+		sp := sp
+		sp.Name += "-windowed"
+		sp.FlowWindow = Duration(100 * time.Millisecond)
+		t.Run(sp.Name, func(t *testing.T) {
+			t.Parallel()
+			if err := sp.WithDefaults().Validate(); err != nil {
+				t.Fatal(err)
+			}
+			first, res, _ := traceDigest(t, sp, sim.QueueCalendar)
+			again, _, _ := traceDigest(t, sp, sim.QueueCalendar)
+			if first != again {
+				t.Errorf("windowed runs diverged: %s vs %s", first, again)
+			}
+			heap, _, _ := traceDigest(t, sp, sim.QueueHeap)
+			if first != heap {
+				t.Errorf("windowed queue kinds diverged: calendar %s, heap %s", first, heap)
+			}
+			if res.Done == 0 {
+				t.Errorf("windowed run completed nothing: %d/%d", res.Done, res.Total)
 			}
 			t.Logf("digest %s (%d/%d done, ended %v)", first[:16], res.Done, res.Total, res.EndedAt)
 		})

@@ -134,6 +134,7 @@ func Run(sp *Spec, opt Options) (*Result, error) {
 
 	ncfg := vnet.DefaultConfig()
 	ncfg.Model = model
+	ncfg.FlowWindow = sp.FlowWindow.D()
 	if sp.FirewallEnabled() {
 		classifier := netem.ClassifierLinear
 		if sp.Classifier != "" {

@@ -156,6 +156,13 @@ func TestValidationRejects(t *testing.T) {
 		{"groups on add-rule", func(s *Spec) {
 			s.Timeline = []EventSpec{{Action: ActionAddRule, Rule: "deny", Groups: []string{"g"}}}
 		}, "does not use groups"},
+		{"negative flow window", func(s *Spec) {
+			s.Model = "flow"
+			s.FlowWindow = Duration(-time.Second)
+		}, "negative flow window"},
+		{"flow window without flow model", func(s *Spec) {
+			s.FlowWindow = Duration(50 * time.Millisecond)
+		}, "needs the flow model"},
 	}
 	for _, tc := range cases {
 		sp := base()
@@ -168,6 +175,14 @@ func TestValidationRejects(t *testing.T) {
 		if !strings.Contains(err.Error(), tc.want) {
 			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
 		}
+	}
+
+	// And the valid combination: a positive window under the flow model.
+	sp := base()
+	sp.Model = "flow"
+	sp.FlowWindow = Duration(50 * time.Millisecond)
+	if err := sp.WithDefaults().Validate(); err != nil {
+		t.Errorf("flow_window with flow model rejected: %v", err)
 	}
 }
 

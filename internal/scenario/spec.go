@@ -184,6 +184,12 @@ type Spec struct {
 	Model       string   `json:"model,omitempty"` // pipe (default) | flow
 	Seed        int64    `json:"seed,omitempty"`
 	Horizon     Duration `json:"horizon,omitempty"` // default 1h virtual
+	// FlowWindow batches the flow model's re-rate solves: churn events
+	// within one window of virtual time drain in a single deterministic
+	// solve per affected component (vnet.Config.FlowWindow). 0 keeps
+	// the per-event solves the golden traces pin. Only valid with the
+	// flow model — the pipe model has no solver to batch.
+	FlowWindow Duration `json:"flow_window,omitempty"`
 	// Classifier selects the firewall's classification algorithm
 	// ("linear" or "indexed"). Setting it — or scheduling any rule
 	// event on the timeline — gives the network a firewall table;
@@ -314,6 +320,14 @@ func (s *Spec) Validate() error {
 	}
 	if s.Horizon <= 0 {
 		return fmt.Errorf("scenario %s: horizon %v not positive", s.Name, s.Horizon)
+	}
+	if s.FlowWindow < 0 {
+		return fmt.Errorf("scenario %s: negative flow window %v", s.Name, s.FlowWindow)
+	}
+	if s.FlowWindow > 0 && s.Model != "flow" {
+		// Silently ignoring the knob would run a different scenario
+		// than the author wrote — same policy as the other gated knobs.
+		return fmt.Errorf("scenario %s: flow_window needs the flow model (got %q)", s.Name, s.Model)
 	}
 	groups := make(map[string]bool, len(s.Groups))
 	total := 0

@@ -8,6 +8,7 @@ import (
 	"repro/internal/ip"
 	"repro/internal/netem"
 	"repro/internal/sim"
+	"repro/internal/topo"
 	"repro/internal/trace"
 	"repro/internal/vnet"
 )
@@ -121,5 +122,88 @@ func TestFlowModelEndToEnd(t *testing.T) {
 	}
 	if hosts[0].LinkModel() != net.LinkModel() {
 		t.Error("host does not expose the network's link model")
+	}
+}
+
+// TestFlowWindowConfig wires vnet.Config.FlowWindow through to the
+// flow engine: a windowed network batches its solves (Flushes advance)
+// and still delivers the traffic; a reconfigure mid-run drains the
+// pending batch instead of waiting out the window.
+func TestFlowWindowConfig(t *testing.T) {
+	k := sim.New(2)
+	cfg := vnet.DefaultConfig()
+	cfg.Model = netem.ModelFlow
+	cfg.FlowWindow = 50 * time.Millisecond
+	cfg.HandshakeTimeout = time.Hour
+	net := vnet.NewNetwork(k, nil, cfg)
+
+	server, err := net.AddHost(ip.MustParseAddr("10.0.0.1"),
+		netem.PipeConfig{Bandwidth: 8 * netem.Mbps, Delay: 5 * time.Millisecond},
+		netem.PipeConfig{Bandwidth: 8 * netem.Mbps, Delay: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := net.AddHost(ip.MustParseAddr("10.0.0.2"),
+		netem.PipeConfig{Bandwidth: 8 * netem.Mbps, Delay: 5 * time.Millisecond},
+		netem.PipeConfig{Bandwidth: 8 * netem.Mbps, Delay: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const size = 2_000_000
+	var finished sim.Time
+	k.Go("server", func(p *sim.Proc) {
+		l, err := server.Listen(p, 80)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		c, err := l.Accept(p)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		c.SendMeta(p, size, nil)
+		c.Close(p)
+	})
+	k.Go("client", func(p *sim.Proc) {
+		c, err := client.Dial(p, ip.Endpoint{Addr: server.Addr(), Port: 80})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		got := 0
+		for got < size {
+			pk, err := c.Recv(p)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			got += pk.Len()
+		}
+		finished = p.Now()
+	})
+	// Degrade the client's downlink mid-transfer: the reconfigure must
+	// flush the batch synchronously, so the engine has settled rates
+	// before the new capacity applies.
+	k.At(sim.Time(500*time.Millisecond), func() {
+		net.SetLinkClass(client, topo.LinkClass{
+			Name: "degraded", Down: 4 * netem.Mbps, Up: 4 * netem.Mbps, Latency: 5 * time.Millisecond,
+		})
+	})
+	if err := k.RunUntil(sim.Time(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if finished == 0 {
+		t.Fatal("transfer did not finish under a windowed flow model")
+	}
+	stats, ok := net.FlowStats()
+	if !ok {
+		t.Fatal("FlowStats not available")
+	}
+	if stats.Flushes == 0 {
+		t.Errorf("windowed network never flushed a batch: %+v", stats)
+	}
+	if stats.Batched == 0 {
+		t.Errorf("windowed network batched no churn events: %+v", stats)
 	}
 }

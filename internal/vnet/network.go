@@ -93,6 +93,12 @@ type Config struct {
 	// across concurrent transfers; see repro/internal/flow). One
 	// option flips a whole experiment between the two.
 	Model netem.ModelKind
+	// FlowWindow, under the flow model, batches the solver's re-rates:
+	// churn events within one window of virtual time coalesce into a
+	// single solve per affected component at the window boundary
+	// (flow.Config.Window). 0 re-solves at every event. Ignored under
+	// the pipe model.
+	FlowWindow time.Duration
 	// Rules, when non-nil, is the network-wide IPFW-style firewall:
 	// every transmission attempt is classified src→dst through the
 	// table, matched ActionPipe pipes stack onto the path (Dummynet
@@ -243,6 +249,12 @@ func (n *Network) reconfigurePipe(p *netem.Pipe, cfg netem.PipeConfig) {
 			"bw %d->%d delay %v->%v loss %g->%g", old.Bandwidth, cfg.Bandwidth,
 			old.Delay, cfg.Delay, old.Loss, cfg.Loss)
 	}
+	// A batching model drains its coalesced churn before the config
+	// changes, so the batch settles under the configuration it happened
+	// under and the re-solve below observes settled rates.
+	if fm, ok := n.model.(netem.FlushableModel); ok {
+		fm.FlushBatch()
+	}
 	p.Reconfigure(cfg)
 	if rm, ok := n.model.(netem.ReconfigurableModel); ok {
 		rm.PipeReconfigured(p)
@@ -316,7 +328,7 @@ func NewNetwork(k *sim.Kernel, fabric Fabric, cfg Config) *Network {
 	var model netem.LinkModel
 	switch cfg.Model {
 	case netem.ModelFlow:
-		model = flow.New(k)
+		model = flow.NewWithConfig(k, flow.Config{Window: cfg.FlowWindow})
 	default:
 		model = netem.NewPipeModel(k)
 	}

@@ -31,7 +31,11 @@ case "${1:-record}" in
     tmp=$(mktemp)
     trap 'rm -f "$tmp"' EXIT
     run | go run ./cmd/benchjson > "$tmp"
-    go run ./cmd/benchjson -diff "$OUT" "$tmp"
+    # The churn benchmark is the flow solver's fast-path contract
+    # (ISSUE 6: batched re-rates): pin it tighter than the global
+    # tolerance so the batching win cannot silently erode.
+    go run ./cmd/benchjson -diff \
+      -ratio 'BenchmarkFlowChurn/components=1=1.15' "$OUT" "$tmp"
     ;;
   *)
     echo "usage: $0 [record|check]" >&2
