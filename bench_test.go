@@ -17,6 +17,7 @@ import (
 	"repro/internal/flow"
 	"repro/internal/ip"
 	"repro/internal/netem"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/topo"
@@ -591,4 +592,40 @@ func BenchmarkPickerRarestFirst(b *testing.B) {
 			b.Fatal("no pick")
 		}
 	}
+}
+
+// BenchmarkObsHot measures the obs-registry update cost paid on the
+// vnet transmit path when observability is attached: a counter bump
+// and a histogram observation per message-sized unit of work, plus the
+// nil-instrument variant every uninstrumented run pays instead. The
+// regression gate is allocs/op == 0 for all three — hot-path metric
+// updates must stay pure memory writes (DESIGN.md decision 9).
+func BenchmarkObsHot(b *testing.B) {
+	reg := obs.NewRegistry()
+	sent := reg.Counter("p2plab_net_messages_sent_total", "")
+	bytes := reg.Counter("p2plab_net_bytes_delivered_total", "")
+	ttfp := reg.Histogram("p2plab_bt_time_to_first_peer_seconds", "", bt.TTFPBuckets)
+	b.Run("counter", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sent.Inc()
+			bytes.Add(1460)
+		}
+	})
+	b.Run("histogram", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ttfp.Observe(float64(i&1023) / 8)
+		}
+	})
+	b.Run("disabled", func(b *testing.B) {
+		var c *obs.Counter
+		var h *obs.Histogram
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.Inc()
+			c.Add(1460)
+			h.Observe(1)
+		}
+	})
 }

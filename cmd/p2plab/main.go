@@ -14,6 +14,7 @@
 //	p2plab list                      # the scenario catalogue
 //	p2plab run transatlantic-partition-heal
 //	p2plab run -spec my-scenario.json -trace 40
+//	p2plab serve -addr 127.0.0.1:8080  # HTTP experiment service
 //
 // Figure ids: 1, 2, 3, bind, 6, 6x (indexed ablation), 7, 8, 9, 10, 11.
 package main
@@ -46,6 +47,11 @@ func main() {
 			return
 		case "list":
 			if err := listMain(os.Args[2:]); err != nil {
+				fatal(err)
+			}
+			return
+		case "serve":
+			if err := serveMain(os.Args[2:]); err != nil {
 				fatal(err)
 			}
 			return

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// serveMain implements the `p2plab serve` subcommand: a long-running
+// HTTP experiment service. Scenario and sweep jobs are submitted into a
+// bounded queue over the API, run on a worker pool, and observed live
+// via SSE metric/progress streams and a Prometheus /metrics endpoint.
+func serveMain(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
+	queue := fs.Int("queue", 8, "bounded job-queue depth (submissions beyond it get 503)")
+	workers := fs.Int("workers", 2, "jobs running concurrently")
+	sample := fs.Duration("sample", 10*time.Second, "default virtual-time interval between metric snapshots")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	s := serve.New(serve.Config{
+		QueueDepth:     *queue,
+		Workers:        *workers,
+		SampleInterval: *sample,
+	})
+	defer s.Close()
+
+	srv := &http.Server{Addr: *addr, Handler: s.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Printf("p2plab serve: listening on http://%s (queue %d, %d worker(s), sample %v)\n",
+		*addr, *queue, *workers, *sample)
+
+	select {
+	case err := <-errc:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case <-ctx.Done():
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		return srv.Shutdown(shutCtx)
+	}
+}

@@ -135,6 +135,9 @@ type Client struct {
 	stopped  bool
 	listener *vnet.Listener
 
+	om      btMetrics // obs instruments; all-nil when the network is uninstrumented
+	sawPeer bool      // first peer admitted (time-to-first-peer observed)
+
 	// OnComplete, if set, fires once when the download finishes.
 	OnComplete func(c *Client, at sim.Time)
 	// OnPiece, if set, fires at every piece completion (progress
@@ -157,6 +160,7 @@ func NewClient(h *vnet.Host, meta *MetaInfo, store Storage, tracker ip.Endpoint,
 		picker:      NewPicker(meta.NumPieces(), k.Rand()),
 		partials:    make(map[int]*pieceProgress),
 		outstanding: make(map[blockKey]int),
+		om:          newBTMetrics(h.Network().Obs()),
 	}
 	if store.Bitfield().Complete() {
 		c.done = true
@@ -301,10 +305,12 @@ func (c *Client) handshake() Handshake {
 // dialPeer initiates an outbound connection in a transient goroutine.
 func (c *Client) dialPeer(p *sim.Proc, ep ip.Endpoint) {
 	c.dialing++
+	c.om.dialAttempts.Inc()
 	p.Go("bt-handshake-out", func(p *sim.Proc) {
 		defer c.events.TrySend(event{kind: evMsg, msg: Msg{}, peer: nil}) // nudge loop (dialing--)
 		conn, err := c.h.Dial(p, ep)
 		if err != nil {
+			c.om.dialFailures.Inc()
 			return
 		}
 		if err := sendHandshake(p, conn, c.handshake()); err != nil {
@@ -382,6 +388,10 @@ func (c *Client) onJoin(p *sim.Proc, pr *peer) {
 	}
 	c.peers = append(c.peers, pr)
 	c.byAddr[pr.addr] = pr
+	if !c.sawPeer {
+		c.sawPeer = true
+		c.om.ttfp.Observe(p.Now().Sub(c.started).Seconds())
+	}
 	if c.store.Bitfield().Count() > 0 {
 		bf := c.store.Bitfield()
 		pr.send(p, Msg{ID: MsgBitfield, Bits: bf.Bytes()})
@@ -556,6 +566,7 @@ func (c *Client) onBlock(p *sim.Proc, pr *peer, m Msg) {
 // onPieceDone broadcasts Have, records progress and checks completion.
 func (c *Client) onPieceDone(p *sim.Proc, piece int) {
 	now := p.Now()
+	c.om.pieces.Inc()
 	bytesDone := c.BytesDone()
 	c.progress = append(c.progress, Progress{At: now, Bytes: bytesDone, Pieces: c.store.Bitfield().Count()})
 	if c.OnPiece != nil {
@@ -582,6 +593,7 @@ func (c *Client) onPieceDone(p *sim.Proc, piece int) {
 	if c.store.Bitfield().Complete() && !c.done {
 		c.done = true
 		c.finished = now
+		c.om.completions.Inc()
 		c.announceAsync(p, EventCompleted)
 		for _, pr := range c.peers {
 			c.updateInterest(p, pr)
@@ -693,9 +705,11 @@ func (c *Client) rechoke(p *sim.Proc) {
 		want := unchoke[pr]
 		if want && pr.amChoking {
 			pr.amChoking = false
+			c.om.unchokes.Inc()
 			pr.send(p, Msg{ID: MsgUnchoke})
 		} else if !want && !pr.amChoking {
 			pr.amChoking = true
+			c.om.chokes.Inc()
 			pr.send(p, Msg{ID: MsgChoke})
 		}
 	}

@@ -88,7 +88,7 @@ type Cell struct {
 	Model      netem.ModelKind
 	Window     time.Duration // flow-model batch window; always 0 for pipe cells
 	Scenario   string        // scenario experiment only
-	Rules      int    // firewall rule-table size; ping and swarm families
+	Rules      int           // firewall rule-table size; ping and swarm families
 	Classifier netem.Classifier
 	Seed       int64
 
@@ -485,6 +485,17 @@ func (r *SweepResult) Errs() []error {
 // or panicking cell records its error and leaves every other cell
 // untouched.
 func RunSweep(g Grid, workers int) (*SweepResult, error) {
+	return RunSweepProgress(g, workers, nil)
+}
+
+// RunSweepProgress is RunSweep with a completion callback: onCell runs
+// after each cell finishes (successfully or not), serialized under an
+// internal mutex, with the count of completed cells so far and the
+// grid total — the hook the serve layer streams per-cell progress
+// from. Cells still complete in nondeterministic wall-clock order; the
+// returned SweepResult remains in grid order and worker-count
+// independent. A nil onCell is RunSweep exactly.
+func RunSweepProgress(g Grid, workers int, onCell func(completed, total int, res CellResult)) (*SweepResult, error) {
 	cells, err := g.Cells()
 	if err != nil {
 		return nil, err
@@ -499,6 +510,8 @@ func RunSweep(g Grid, workers int) (*SweepResult, error) {
 	results := make([]CellResult, len(cells))
 	work := make(chan int)
 	var wg sync.WaitGroup
+	var progressMu sync.Mutex
+	completed := 0
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -510,6 +523,12 @@ func RunSweep(g Grid, workers int) (*SweepResult, error) {
 			defer runtime.UnlockOSThread()
 			for i := range work {
 				results[i] = runCellGuarded(cells[i])
+				if onCell != nil {
+					progressMu.Lock()
+					completed++
+					onCell(completed, len(cells), results[i])
+					progressMu.Unlock()
+				}
 			}
 		}()
 	}

@@ -120,14 +120,22 @@ func Summarize(samples []float64) Summary {
 	}
 	vs := append([]float64(nil), samples...)
 	sort.Float64s(vs)
-	var sum, sq float64
+	var sum float64
 	for _, v := range vs {
 		sum += v
-		sq += v * v
 	}
 	n := float64(len(vs))
 	mean := sum / n
-	variance := sq/n - mean*mean
+	// Two-pass variance: E[(v-mean)^2] computed against the actual
+	// mean. The one-pass E[v^2]-mean^2 form cancels catastrophically
+	// when the mean dwarfs the spread (virtual-time timestamps hours
+	// into a run differing by milliseconds) and can even go negative.
+	var sq float64
+	for _, v := range vs {
+		d := v - mean
+		sq += d * d
+	}
+	variance := sq / n
 	if variance < 0 {
 		variance = 0
 	}
@@ -229,11 +237,20 @@ func Downsample(s *Series, n int) *Series {
 		out := &Series{Name: s.Name, Points: append([]Point(nil), s.Points...)}
 		return out
 	}
-	out := &Series{Name: s.Name}
-	step := float64(s.Len()-1) / float64(n-1)
-	for i := 0; i < n; i++ {
-		out.Points = append(out.Points, s.Points[int(float64(i)*step+0.5)])
+	if n == 1 {
+		// A single kept point is the last one (the forced endpoint).
+		return &Series{Name: s.Name, Points: []Point{s.Points[s.Len()-1]}}
 	}
-	out.Points[n-1] = s.Points[s.Len()-1]
+	out := &Series{Name: s.Name}
+	// Exact integer rounding of i*(L-1)/(n-1): no float step, so the
+	// rounded second-to-last index can never collide with the forced
+	// final point (and no NaN/overflow edge cases). round(a/b) with
+	// positive a,b is (2a+b)/(2b).
+	last := s.Len() - 1
+	for i := 0; i < n; i++ {
+		idx := (2*i*last + (n - 1)) / (2 * (n - 1))
+		out.Points = append(out.Points, s.Points[idx])
+	}
+	out.Points[n-1] = s.Points[last]
 	return out
 }

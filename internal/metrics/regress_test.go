@@ -1,0 +1,105 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+// TestSummarizeOffsetVariance is the regression test for the one-pass
+// variance formula: samples riding a large offset (virtual-time
+// timestamps hours into a run, differing by milliseconds) must keep
+// their exact spread. The old E[v^2]-mean^2 form lost every significant
+// digit of the deviation and could even go negative.
+func TestSummarizeOffsetVariance(t *testing.T) {
+	// Known sample {-1, 0, 1}: population stddev sqrt(2/3).
+	base := []float64{-1, 0, 1}
+	want := math.Sqrt(2.0 / 3.0)
+	for _, offset := range []float64{0, 1e6, 1e9, 1e12} {
+		vs := make([]float64, len(base))
+		for i, v := range base {
+			vs[i] = v + offset
+		}
+		got := Summarize(vs).Stddev
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("offset %g: stddev = %.12g, want %.12g", offset, got, want)
+		}
+	}
+
+	// Identical samples at a huge offset: exactly zero spread, and the
+	// result must not be NaN (a negative variance would be).
+	s := Summarize([]float64{1e15, 1e15, 1e15})
+	if s.Stddev != 0 {
+		t.Errorf("constant samples: stddev = %g, want 0", s.Stddev)
+	}
+	if math.IsNaN(s.Stddev) {
+		t.Error("stddev is NaN")
+	}
+}
+
+func seq(n int) *Series {
+	s := &Series{Name: "seq"}
+	for i := 0; i < n; i++ {
+		s.Add(float64(i), float64(i))
+	}
+	return s
+}
+
+// TestDownsampleBoundaries pins the index arithmetic at the edges where
+// float rounding used to threaten a duplicated final point.
+func TestDownsampleBoundaries(t *testing.T) {
+	check := func(total, n int) {
+		t.Helper()
+		s := seq(total)
+		d := Downsample(s, n)
+		wantLen := n
+		if n <= 0 || total <= n {
+			wantLen = total
+		}
+		if d.Len() != wantLen {
+			t.Fatalf("Downsample(%d, %d): len %d, want %d", total, n, d.Len(), wantLen)
+		}
+		if d.Len() == 0 {
+			return
+		}
+		// The last point is always the original endpoint.
+		if d.Points[d.Len()-1] != s.Points[total-1] {
+			t.Fatalf("Downsample(%d, %d): last point %+v", total, n, d.Points[d.Len()-1])
+		}
+		// Indices strictly increase: no point repeats.
+		for i := 1; i < d.Len(); i++ {
+			if d.Points[i].X <= d.Points[i-1].X {
+				t.Fatalf("Downsample(%d, %d): duplicate/reordered points %v", total, n, d.Points)
+			}
+		}
+		if n > 1 && total > n && d.Points[0] != s.Points[0] {
+			t.Fatalf("Downsample(%d, %d): first point %+v", total, n, d.Points[0])
+		}
+	}
+
+	check(100, 2)    // minimal kept set: first and last only
+	check(3, 2)      // Len() == n+1, the tightest non-trivial reduction
+	check(101, 100)  // Len() == n+1 at scale: every rounded index distinct
+	check(1000, 999) // one-point reduction
+	check(5000, 50)  // the .dat use case
+	check(10, 1)     // n == 1 keeps the endpoint, no NaN/div-zero
+	check(5, 10)     // fewer points than n: untouched copy
+	check(5, 5)      // exact fit: untouched copy
+	check(7, 0)      // n <= 0: untouched copy
+}
+
+// TestDownsampleSecondToLastDistinct is the focused regression: for a
+// wide range of sizes the second-to-last rounded index must stay below
+// the forced final index.
+func TestDownsampleSecondToLastDistinct(t *testing.T) {
+	for total := 3; total <= 400; total++ {
+		for _, n := range []int{2, 3, total / 2, total - 1} {
+			if n < 2 || total <= n {
+				continue
+			}
+			d := Downsample(seq(total), n)
+			if d.Points[n-1] == d.Points[n-2] {
+				t.Fatalf("Downsample(%d, %d) duplicated the final point", total, n)
+			}
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteProm renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4): one # HELP / # TYPE header per family, then
+// one line per series, with histogram series expanded into cumulative
+// _bucket{le=...} lines plus _sum and _count.
+func (s *Snapshot) WriteProm(w io.Writer) error {
+	if s == nil {
+		return nil
+	}
+	for _, f := range s.Families {
+		if f.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.Name, escapeHelp(f.Help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.Name, f.Kind); err != nil {
+			return err
+		}
+		for _, ss := range f.Series {
+			if err := writeSeries(w, f, ss); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeSeries(w io.Writer, f Family, ss SeriesSnap) error {
+	switch f.Kind {
+	case KindHistogram:
+		for _, b := range ss.Buckets {
+			le := append(append([]Label(nil), ss.Labels...), Label{Key: "le", Value: formatFloat(b.LE)})
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.Name, labelString(le), b.Count); err != nil {
+				return err
+			}
+		}
+		inf := append(append([]Label(nil), ss.Labels...), Label{Key: "le", Value: "+Inf"})
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.Name, labelString(inf), ss.Count); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.Name, labelString(ss.Labels), formatFloat(ss.Sum)); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.Name, labelString(ss.Labels), ss.Count)
+		return err
+	default:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", f.Name, labelString(ss.Labels), formatFloat(ss.Value))
+		return err
+	}
+}
+
+// labelString renders {k="v",...} (sorted by key), or "" when empty.
+func labelString(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Labeled pairs a snapshot with the value an injected label takes for
+// its series (e.g. the job id publishing the snapshot).
+type Labeled struct {
+	Value string
+	Snap  *Snapshot
+}
+
+// Merge combines several snapshots into one, tagging every series of
+// group i with the label key=groups[i].Value. Families that appear in
+// multiple snapshots are merged into a single family block, which keeps
+// the merged exposition valid Prometheus text (a metric name must not
+// repeat). Nil snapshots are skipped; the result has families sorted by
+// name and series in group order.
+func Merge(key string, groups []Labeled) *Snapshot {
+	byName := make(map[string]*Family)
+	var names []string
+	for _, g := range groups {
+		if g.Snap == nil {
+			continue
+		}
+		for _, f := range g.Snap.Families {
+			mf := byName[f.Name]
+			if mf == nil {
+				mf = &Family{Name: f.Name, Help: f.Help, Kind: f.Kind}
+				byName[f.Name] = mf
+				names = append(names, f.Name)
+			}
+			for _, ss := range f.Series {
+				tagged := ss
+				tagged.Labels = append([]Label{{Key: key, Value: g.Value}}, ss.Labels...)
+				mf.Series = append(mf.Series, tagged)
+			}
+		}
+	}
+	sort.Strings(names)
+	out := &Snapshot{Families: make([]Family, 0, len(names))}
+	for _, n := range names {
+		out.Families = append(out.Families, *byName[n])
+	}
+	return out
+}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/ip"
 	"repro/internal/metrics"
 	"repro/internal/netem"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/topo"
 	"repro/internal/trace"
@@ -33,6 +34,21 @@ type Options struct {
 	// Seed overrides the spec's seed when non-zero (the sweep engine's
 	// seed axis).
 	Seed int64
+	// Obs, when non-nil, attaches the deterministic metric registry to
+	// the run: the network, the protocol layers and the kernel register
+	// their instruments on it. Attaching a registry never changes the
+	// run itself — the golden-trace corpus is byte-identical with Obs
+	// set or nil (TestObsTraceNeutral).
+	Obs *obs.Registry
+	// SampleInterval, with Obs and OnSample set, snapshots the registry
+	// every interval of *virtual* time (obs.StartSampler) and hands the
+	// snapshot to OnSample in kernel context. Zero disables sampling;
+	// the registry can still be snapshotted after the run.
+	SampleInterval time.Duration
+	// OnSample receives each periodic snapshot. It runs in kernel
+	// context and must not block; the serve layer uses it to publish
+	// live metric frames to HTTP subscribers.
+	OnSample func(at sim.Time, snap *obs.Snapshot)
 }
 
 // Result is a completed scenario run.
@@ -135,6 +151,28 @@ func Run(sp *Spec, opt Options) (*Result, error) {
 	ncfg := vnet.DefaultConfig()
 	ncfg.Model = model
 	ncfg.FlowWindow = sp.FlowWindow.D()
+	ncfg.Obs = opt.Obs
+	if opt.Obs != nil {
+		// Kernel instruments: pull-style, evaluated only at snapshot
+		// time (Kernel.Snapshot/QueueResizes take the kernel mutex, which
+		// is free while a kernel callback runs).
+		k := r.k
+		opt.Obs.CounterFunc("p2plab_sim_events_total", "Kernel callbacks dispatched.", func() uint64 {
+			return k.Snapshot().Events
+		})
+		opt.Obs.CounterFunc("p2plab_sim_switches_total", "Simulated-task activations.", func() uint64 {
+			return k.Snapshot().Switches
+		})
+		opt.Obs.CounterFunc("p2plab_sim_spawns_total", "Simulated tasks created.", func() uint64 {
+			return k.Snapshot().Spawns
+		})
+		opt.Obs.CounterFunc("p2plab_sim_queue_resizes_total", "Calendar-queue rebuilds (0 under the heap queue).", func() uint64 {
+			return k.QueueResizes()
+		})
+		opt.Obs.GaugeFunc("p2plab_sim_virtual_seconds", "Current virtual time of the run.", func() float64 {
+			return k.Now().Seconds()
+		})
+	}
 	if sp.FirewallEnabled() {
 		classifier := netem.ClassifierLinear
 		if sp.Classifier != "" {
@@ -175,6 +213,11 @@ func Run(sp *Spec, opt Options) (*Result, error) {
 	for _, ev := range sp.Timeline {
 		r.schedule(ev)
 	}
+	// The sampler is a repeating kernel event; it is safe here because
+	// every workload ends the run via k.Stop() (never by queue
+	// exhaustion), which discards the pending sample event.
+	sampler := obs.StartSampler(r.k, opt.Obs, opt.SampleInterval, opt.OnSample)
+	defer sampler.Stop()
 	if err := r.k.Run(); err != nil {
 		return nil, fmt.Errorf("scenario %s: kernel: %w", sp.Name, err)
 	}

@@ -151,6 +151,16 @@ func (k *Kernel) Snapshot() Stats {
 	return k.stats
 }
 
+// QueueResizes returns how many times the event queue restructured
+// itself (calendar-queue rebuilds; always 0 under QueueHeap). Kept out
+// of Stats on purpose: golden-trace digests include Stats and must be
+// identical across queue kinds, while this counter is queue-specific.
+func (k *Kernel) QueueResizes() uint64 {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.events.resizes()
+}
+
 // Rand returns the kernel's deterministic random source. Because simulated
 // goroutines execute one at a time, sharing one source is race-free and
 // deterministic.

@@ -9,6 +9,10 @@ type timerQueue interface {
 	push(*event)
 	pop() *event // minimum by (at, seq); nil when empty
 	len() int
+	// resizes counts internal restructurings (calendar-queue rebuilds);
+	// the heap reports 0. Diagnostic only — deliberately NOT part of
+	// sim.Stats, which golden-trace digests compare across queue kinds.
+	resizes() uint64
 }
 
 // QueueKind selects the kernel's event-queue implementation.
@@ -74,6 +78,8 @@ func (q *heapQueue) pop() *event {
 
 func (q *heapQueue) len() int { return len(q.h) }
 
+func (q *heapQueue) resizes() uint64 { return 0 }
+
 // --- calendar queue ---
 
 // calQueue is a calendar queue (R. Brown, CACM 1988): an array of
@@ -122,6 +128,8 @@ type calQueue struct {
 	// so the width check gates the rebuild.)
 	scanSteps int
 	scanOps   int
+
+	nResizes uint64 // rebuilds performed (growth, shrink, watchdog)
 }
 
 const (
@@ -147,6 +155,8 @@ func (q *calQueue) init(nb int, width Time, startAt Time) {
 }
 
 func (q *calQueue) len() int { return q.n }
+
+func (q *calQueue) resizes() uint64 { return q.nResizes }
 
 func (q *calQueue) push(ev *event) {
 	ev.queued = true
@@ -289,6 +299,7 @@ func (q *calQueue) unlink(i int) *event {
 // reinserting every pending event. Amortized against the pushes/pops
 // that triggered it.
 func (q *calQueue) resize(nb int) {
+	q.nResizes++
 	events := make([]*event, 0, q.n)
 	for i, h := range q.buckets {
 		for h != nil {

@@ -18,6 +18,7 @@ import (
 	"repro/internal/flow"
 	"repro/internal/ip"
 	"repro/internal/netem"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/topo"
 	"repro/internal/trace"
@@ -111,6 +112,13 @@ type Config struct {
 	// nil (the default) skips classification entirely: traces are
 	// byte-identical to a network without this field.
 	Rules *netem.RuleSet
+	// Obs, when non-nil, attaches the deterministic metric registry:
+	// hot-path counters mirror NetworkStats with zero allocation, and
+	// pull-style collectors expose connection, pipe and flow-solver
+	// state at snapshot time. nil (the default) skips instrumentation;
+	// either way traces are byte-identical (obs updates never touch
+	// the RNG, the trace or the event queue).
+	Obs *obs.Registry
 }
 
 // DefaultConfig returns the standard configuration.
@@ -139,7 +147,17 @@ type Network struct {
 	nextPartID int
 
 	stats  NetworkStats
+	om     netMetrics // hot-path obs counters; all-nil when Obs is unset
 	tracer *trace.Log
+}
+
+// netMetrics holds the pre-created obs counter handles the transmit
+// path bumps alongside NetworkStats. With observability off every
+// field is nil and each bump is one nil-check branch (see obs.Counter).
+type netMetrics struct {
+	sent, delivered, dropped *obs.Counter
+	retransmits, ruleDenied  *obs.Counter
+	bytesDelivered           *obs.Counter
 }
 
 // partition is one active administrative split: traffic between the a
@@ -332,14 +350,21 @@ func NewNetwork(k *sim.Kernel, fabric Fabric, cfg Config) *Network {
 	default:
 		model = netem.NewPipeModel(k)
 	}
-	return &Network{
+	n := &Network{
 		k:      k,
 		fabric: fabric,
 		cfg:    cfg,
 		model:  model,
 		hosts:  make(map[ip.Addr]*Host),
 	}
+	n.initObs()
+	return n
 }
+
+// Obs returns the network's metric registry, or nil when the network
+// runs uninstrumented. Protocol layers (bt) use it to register their
+// own instruments.
+func (n *Network) Obs() *obs.Registry { return n.cfg.Obs }
 
 // LinkModel returns the network's link model; a flow-model network
 // returns the *flow.Model, whose Stats expose sharing activity.
@@ -458,6 +483,7 @@ func (n *Network) transmit(src *Host, m message, reliable bool) bool {
 	dst := n.hosts[m.dst.Addr]
 	if dst == nil {
 		n.stats.MessagesDropped++
+		n.om.dropped.Inc()
 		return false
 	}
 	var route Route
@@ -466,9 +492,11 @@ func (n *Network) transmit(src *Host, m message, reliable bool) bool {
 	}
 	if route.Drop {
 		n.stats.MessagesDropped++
+		n.om.dropped.Inc()
 		return false
 	}
 	n.stats.MessagesSent++
+	n.om.sent.Inc()
 	if n.tracer != nil {
 		n.tracer.Add(n.k.Now(), "net.send", m.src.Addr.String(),
 			"%d B to %v (kind %d)", m.wireSize(&n.cfg), m.dst, m.kind)
@@ -488,6 +516,7 @@ func (n *Network) attempt(src, dst *Host, m message, route Route, tries int, sta
 	failed := func() {
 		if reliable && tries < n.cfg.MaxRetransmits {
 			n.stats.Retransmits++
+			n.om.retransmits.Inc()
 			retryAt := start.Add(n.cfg.RTO * (1 << uint(tries)))
 			n.k.At(retryAt, func() {
 				n.attempt(src, dst, m, route, tries+1, n.k.Now(), reliable)
@@ -495,6 +524,7 @@ func (n *Network) attempt(src, dst *Host, m message, route Route, tries int, sta
 			return
 		}
 		n.stats.MessagesDropped++
+		n.om.dropped.Inc()
 		if n.tracer != nil {
 			n.tracer.Add(n.k.Now(), "net.drop", m.src.Addr.String(),
 				"%d B to %v lost after %d attempt(s)", size, m.dst, tries+1)
@@ -523,6 +553,7 @@ func (n *Network) attempt(src, dst *Host, m message, route Route, tries int, sta
 		start = start.Add(v.Cost)
 		if v.Deny {
 			n.stats.RuleDenied++
+			n.om.ruleDenied.Inc()
 			if n.tracer != nil {
 				n.tracer.Add(n.k.Now(), "net.deny", m.src.Addr.String(),
 					"%d B to %v denied by firewall", size, m.dst)
@@ -546,6 +577,8 @@ func (n *Network) attempt(src, dst *Host, m message, route Route, tries int, sta
 		n.k.At(exit.Add(route.Latency), func() {
 			n.stats.MessagesDelivered++
 			n.stats.BytesDelivered += uint64(size)
+			n.om.delivered.Inc()
+			n.om.bytesDelivered.Add(uint64(size))
 			if n.tracer != nil {
 				n.tracer.Add(n.k.Now(), "net.deliver", m.dst.Addr.String(),
 					"%d B from %v", size, m.src)

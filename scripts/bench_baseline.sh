@@ -6,31 +6,48 @@
 #
 # The recorded set covers the kernel hot path (event dispatch under the
 # two queue implementations), the figure-level scheduler workload, the
-# flow-solver churn path (incremental component re-solve), and the
+# flow-solver churn path (incremental component re-solve), the
 # firewall classifier (linear scan vs hash index over a 50k-rule
-# table): the benchmarks whose trajectory the queue/pooling/flow/
-# classifier work is expected to move. Compare machines with a grain of
-# salt — the baseline is only meaningful against runs on comparable
-# hardware.
+# table), and the obs-registry update paid on instrumented transmit
+# paths: the benchmarks whose trajectory the queue/pooling/flow/
+# classifier/observability work is expected to move. Compare machines
+# with a grain of salt — the baseline is only meaningful against runs
+# on comparable hardware.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-PATTERN='BenchmarkKernelModes|BenchmarkKernelQueues|BenchmarkFig1SchedulerScaling|BenchmarkSweep|BenchmarkFlowChurn|BenchmarkRuleEval'
+PATTERN='BenchmarkKernelModes|BenchmarkKernelQueues|BenchmarkFig1SchedulerScaling|BenchmarkSweep|BenchmarkFlowChurn|BenchmarkRuleEval|BenchmarkObsHot'
 OUT=BENCH_baseline.json
 
 run() {
   go test -run=NONE -bench "$PATTERN" -benchmem -benchtime=1s -count=1 .
 }
 
+# Hot-path metric updates must stay pure memory writes: fail if any
+# BenchmarkObsHot variant reports a nonzero allocs/op (DESIGN.md
+# decision 9).
+gate_zero_alloc() {
+  local raw=$1
+  if grep -E '^BenchmarkObsHot/' "$raw" | grep -vq ' 0 allocs/op'; then
+    echo "obs hot-path update allocates:" >&2
+    grep -E '^BenchmarkObsHot/' "$raw" >&2
+    return 1
+  fi
+}
+
 case "${1:-record}" in
   record)
-    run | go run ./cmd/benchjson > "$OUT"
+    raw=$(mktemp)
+    trap 'rm -f "$raw"' EXIT
+    run | tee "$raw" | go run ./cmd/benchjson > "$OUT"
+    gate_zero_alloc "$raw"
     echo "wrote $OUT"
     ;;
   check)
-    tmp=$(mktemp)
-    trap 'rm -f "$tmp"' EXIT
-    run | go run ./cmd/benchjson > "$tmp"
+    tmp=$(mktemp) raw=$(mktemp)
+    trap 'rm -f "$tmp" "$raw"' EXIT
+    run | tee "$raw" | go run ./cmd/benchjson > "$tmp"
+    gate_zero_alloc "$raw"
     # The churn benchmark is the flow solver's fast-path contract
     # (ISSUE 6: batched re-rates): pin it tighter than the global
     # tolerance so the batching win cannot silently erode.
