@@ -2,6 +2,7 @@ package bt
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"time"
 
@@ -97,10 +98,26 @@ type event struct {
 	peers []ip.Endpoint
 }
 
-// pieceProgress tracks block arrival for an in-progress piece.
+// pieceProgress tracks block arrival for an in-progress piece. The
+// bitmap is multi-word: a single uint64 silently broke pieces with more
+// than 64 blocks (any piece over 1 MiB), where 1<<b overflowed to zero,
+// the duplicate check never fired and the piece "completed" with blocks
+// missing.
 type pieceProgress struct {
-	received uint64 // bitmap
+	received []uint64 // block-arrival bitmap
 	count    int
+}
+
+func newPieceProgress(blocks int) *pieceProgress {
+	return &pieceProgress{received: make([]uint64, (blocks+63)/64)}
+}
+
+func (pp *pieceProgress) has(b int) bool {
+	return pp.received[b>>6]&(1<<uint(b&63)) != 0
+}
+
+func (pp *pieceProgress) set(b int) {
+	pp.received[b>>6] |= 1 << uint(b&63)
 }
 
 // Client is one BitTorrent node: leecher or seeder depending on its
@@ -115,12 +132,22 @@ type Client struct {
 	tracker ip.Endpoint
 
 	events *sim.Chan[event]
-	peers  []*peer
+	// freeBox is the message-box pool for sends (see msgBox).
+	freeBox *msgBox
+	peers   []*peer
 	byAddr map[ip.Addr]*peer
 	picker *Picker
 
-	partials    map[int]*pieceProgress
-	outstanding map[blockKey]int // global request refcounts (endgame > 1)
+	partials     map[int]*pieceProgress
+	partialOrder []int            // keys of partials, ascending (block selection order)
+	outstanding  map[uint64]int   // global request refcounts by blockKey.pack() (endgame > 1)
+
+	// Reusable scratch for per-event work, so the hot paths allocate
+	// nothing in steady state.
+	rankScratch []rankedPeer
+	topScratch  []int
+	candScratch []rankedPeer
+	keyScratch  []uint64
 
 	started      sim.Time
 	finished     sim.Time
@@ -159,7 +186,7 @@ func NewClient(h *vnet.Host, meta *MetaInfo, store Storage, tracker ip.Endpoint,
 		byAddr:      make(map[ip.Addr]*peer),
 		picker:      NewPicker(meta.NumPieces(), k.Rand()),
 		partials:    make(map[int]*pieceProgress),
-		outstanding: make(map[blockKey]int),
+		outstanding: make(map[uint64]int),
 		om:          newBTMetrics(h.Network().Obs()),
 	}
 	if store.Bitfield().Complete() {
@@ -330,12 +357,17 @@ func (c *Client) dialPeer(p *sim.Proc, ep ip.Endpoint) {
 // loop. Runs in transient goroutines.
 func (c *Client) admit(conn *vnet.Conn, initiated bool) {
 	pr := newPeer(conn, conn.RemoteAddr().Addr, c.meta.NumPieces(), initiated)
+	pr.cl = c
 	conn.SetSink(func(pk vnet.Packet, closed bool) {
 		if closed {
 			c.events.TrySend(event{kind: evPeerClosed, peer: pr})
 			return
 		}
-		if m, ok := pk.Meta.(Msg); ok {
+		if b, ok := pk.Meta.(*msgBox); ok {
+			m := b.m
+			b.release()
+			c.events.TrySend(event{kind: evMsg, peer: pr, msg: m})
+		} else if m, ok := pk.Meta.(Msg); ok {
 			c.events.TrySend(event{kind: evMsg, peer: pr, msg: m})
 		}
 	})
@@ -379,15 +411,16 @@ func (c *Client) loop(p *sim.Proc) {
 }
 
 func (c *Client) onJoin(p *sim.Proc, pr *peer) {
-	if pr.initiated {
-		c.dialing--
-	}
+	// Note: the dial budget is NOT released here. dialPeer's deferred
+	// nudge decrements c.dialing exactly once per attempt, successful or
+	// not; decrementing again for initiated peers made every successful
+	// dial count twice, drifting c.dialing negative and letting onPeers
+	// dial past MaxInitiate.
 	if len(c.peers) >= c.cfg.MaxPeers || c.byAddr[pr.addr] != nil || pr.addr == c.h.Addr() {
 		pr.conn.Close(p)
 		return
 	}
-	c.peers = append(c.peers, pr)
-	c.byAddr[pr.addr] = pr
+	c.registerPeer(pr)
 	if !c.sawPeer {
 		c.sawPeer = true
 		c.om.ttfp.Observe(p.Now().Sub(c.started).Seconds())
@@ -398,27 +431,43 @@ func (c *Client) onJoin(p *sim.Proc, pr *peer) {
 	}
 }
 
+// registerPeer appends a peer to the ordered peer list and the address
+// index, recording its slice position for O(1) departure.
+func (c *Client) registerPeer(pr *peer) {
+	pr.idx = len(c.peers)
+	pr.cl = c
+	c.peers = append(c.peers, pr)
+	c.byAddr[pr.addr] = pr
+}
+
 func (c *Client) onClose(p *sim.Proc, pr *peer) {
 	if pr.closed {
 		return
 	}
 	pr.closed = true
 	pr.conn.Close(p)
-	for i, x := range c.peers {
-		if x == pr {
-			c.peers = append(c.peers[:i], c.peers[i+1:]...)
-			break
+	// Ordered removal by recorded index, not a pointer scan. The order
+	// of c.peers is trace-visible (Have broadcasts, rechoke ranking), so
+	// later peers shift down rather than swap-filling the hole.
+	if i := pr.idx; i >= 0 && i < len(c.peers) && c.peers[i] == pr {
+		copy(c.peers[i:], c.peers[i+1:])
+		c.peers[len(c.peers)-1] = nil
+		c.peers = c.peers[:len(c.peers)-1]
+		for j := i; j < len(c.peers); j++ {
+			c.peers[j].idx = j
 		}
+		pr.idx = -1
 	}
 	delete(c.byAddr, pr.addr)
 	c.picker.RemoveBitfield(pr.bits)
-	for bk := range pr.inflight {
-		c.releaseRequest(bk)
+	for _, e := range pr.inflight {
+		c.releaseRequest(e.bk)
 	}
 }
 
-// releaseRequest drops one outstanding refcount for a block.
-func (c *Client) releaseRequest(bk blockKey) {
+// releaseRequest drops one outstanding refcount for a block (keyed by
+// blockKey.pack()).
+func (c *Client) releaseRequest(bk uint64) {
 	if n := c.outstanding[bk]; n > 1 {
 		c.outstanding[bk] = n - 1
 	} else {
@@ -432,19 +481,23 @@ func (c *Client) onMsg(p *sim.Proc, pr *peer, m Msg) {
 		c.picker.RemoveBitfield(pr.bits)
 		pr.bits = BitfieldFromBytes(m.Bits, c.meta.NumPieces())
 		c.picker.AddBitfield(pr.bits)
+		pr.useful = usefulCount(pr.bits, c.store.Bitfield())
 		c.updateInterest(p, pr)
 	case MsgHave:
 		if !pr.bits.Has(m.Index) {
 			pr.bits.Set(m.Index)
 			c.picker.AddHave(m.Index)
+			if !c.store.Bitfield().Has(m.Index) {
+				pr.useful++
+			}
 		}
 		c.updateInterest(p, pr)
 	case MsgChoke:
 		pr.peerChoking = true
-		for bk := range pr.inflight {
-			c.releaseRequest(bk)
-			delete(pr.inflight, bk)
+		for _, e := range pr.inflight {
+			c.releaseRequest(e.bk)
 		}
+		pr.inflight = pr.inflight[:0]
 	case MsgUnchoke:
 		pr.peerChoking = false
 		c.fillRequests(p, pr)
@@ -462,18 +515,11 @@ func (c *Client) onMsg(p *sim.Proc, pr *peer, m Msg) {
 	}
 }
 
-// updateInterest recomputes and signals our interest in a peer.
+// updateInterest signals a change in our interest in a peer. The
+// predicate reads the incrementally maintained useful-piece counter
+// (see peer.useful) instead of rescanning the bitfield per wire event.
 func (c *Client) updateInterest(p *sim.Proc, pr *peer) {
-	want := false
-	if !c.done {
-		have := c.store.Bitfield()
-		for i := 0; i < pr.bits.Len(); i++ {
-			if pr.bits.Has(i) && !have.Has(i) {
-				want = true
-				break
-			}
-		}
-	}
+	want := !c.done && pr.useful > 0
 	if want != pr.amInterested {
 		pr.amInterested = want
 		id := MsgNotInterested
@@ -511,9 +557,8 @@ func (c *Client) onRequest(p *sim.Proc, pr *peer, m Msg) {
 
 // onBlock ingests a downloaded block.
 func (c *Client) onBlock(p *sim.Proc, pr *peer, m Msg) {
-	bk := blockKey{m.Index, m.Begin}
-	if _, was := pr.inflight[bk]; was {
-		delete(pr.inflight, bk)
+	bk := blockKey{m.Index, m.Begin}.pack()
+	if pr.inflightDel(bk) {
 		c.releaseRequest(bk)
 	}
 	n := int64(m.BlockLen())
@@ -526,13 +571,13 @@ func (c *Client) onBlock(p *sim.Proc, pr *peer, m Msg) {
 	}
 	pp := c.partials[m.Index]
 	if pp == nil {
-		pp = &pieceProgress{}
+		pp = newPieceProgress(c.meta.BlocksIn(m.Index))
 		c.partials[m.Index] = pp
+		c.partialsInsert(m.Index)
 		c.picker.MarkPartial(m.Index)
 	}
 	b := m.Begin / BlockLength
-	bit := uint64(1) << uint(b)
-	if pp.received&bit != 0 {
+	if pp.has(b) {
 		c.fillRequests(p, pr) // endgame duplicate
 		return
 	}
@@ -545,22 +590,57 @@ func (c *Client) onBlock(p *sim.Proc, pr *peer, m Msg) {
 			return
 		}
 	}
-	pp.received |= bit
+	pp.set(b)
 	pp.count++
 	if pp.count == c.meta.BlocksIn(m.Index) {
 		okPiece, err := c.store.CompletePiece(m.Index)
 		delete(c.partials, m.Index)
+		c.partialsRemove(m.Index)
 		c.picker.ClearPartial(m.Index)
 		if err == nil && okPiece {
 			c.onPieceDone(p, m.Index)
 		} else {
-			// Hash failure: forget the piece and re-download.
+			// Hash failure: forget the piece and re-download. Refcounts
+			// for blocks of this piece must survive for requests still in
+			// flight at other peers (endgame duplicates), so rebuild each
+			// block's count from the surviving inflight entries instead
+			// of deleting wholesale — a wholesale delete zeroed counts
+			// other peers still held, and later freeBlock calls then
+			// re-requested the block past the EndgameDup bound.
 			for b := 0; b < c.meta.BlocksIn(m.Index); b++ {
-				delete(c.outstanding, blockKey{m.Index, b * BlockLength})
+				rk := blockKey{m.Index, b * BlockLength}.pack()
+				live := 0
+				for _, other := range c.peers {
+					if other.inflightHas(rk) {
+						live++
+					}
+				}
+				if live == 0 {
+					delete(c.outstanding, rk)
+				} else {
+					c.outstanding[rk] = live
+				}
 			}
 		}
 	}
 	c.fillRequests(p, pr)
+}
+
+// partialsInsert adds piece pi to the ordered partial-piece list,
+// keeping it sorted so block selection never re-sorts per request.
+func (c *Client) partialsInsert(pi int) {
+	i := sort.SearchInts(c.partialOrder, pi)
+	c.partialOrder = append(c.partialOrder, 0)
+	copy(c.partialOrder[i+1:], c.partialOrder[i:])
+	c.partialOrder[i] = pi
+}
+
+// partialsRemove drops piece pi from the ordered partial-piece list.
+func (c *Client) partialsRemove(pi int) {
+	i := sort.SearchInts(c.partialOrder, pi)
+	if i < len(c.partialOrder) && c.partialOrder[i] == pi {
+		c.partialOrder = append(c.partialOrder[:i], c.partialOrder[i+1:]...)
+	}
 }
 
 // onPieceDone broadcasts Have, records progress and checks completion.
@@ -572,21 +652,28 @@ func (c *Client) onPieceDone(p *sim.Proc, piece int) {
 	if c.OnPiece != nil {
 		c.OnPiece(c, now, piece, bytesDone)
 	}
+	c.picker.MarkHave(piece)
 	for _, pr := range c.peers {
+		if pr.bits.Has(piece) {
+			pr.useful--
+		}
 		pr.send(p, Msg{ID: MsgHave, Index: piece})
 		// Cancel endgame duplicates for this piece, in block order: the
 		// cancels are wire messages, so their send order must not
-		// depend on map iteration order.
-		var dups []blockKey
-		for bk := range pr.inflight {
-			if bk.piece == piece {
-				dups = append(dups, bk)
+		// depend on map iteration order. Packed keys of one piece sort
+		// by begin offset.
+		dups := c.keyScratch[:0]
+		for _, e := range pr.inflight {
+			if unpackBlockKey(e.bk).piece == piece {
+				dups = append(dups, e.bk)
 			}
 		}
-		sort.Slice(dups, func(i, j int) bool { return dups[i].begin < dups[j].begin })
+		slices.Sort(dups)
+		c.keyScratch = dups[:0]
 		for _, bk := range dups {
-			pr.send(p, Msg{ID: MsgCancel, Index: bk.piece, Begin: bk.begin, Length: c.meta.BlockSize(bk.piece, bk.begin/BlockLength)})
-			delete(pr.inflight, bk)
+			begin := unpackBlockKey(bk).begin
+			pr.send(p, Msg{ID: MsgCancel, Index: piece, Begin: begin, Length: c.meta.BlockSize(piece, begin/BlockLength)})
+			pr.inflightDel(bk)
 			c.releaseRequest(bk)
 		}
 	}
@@ -622,11 +709,16 @@ func (c *Client) onTick(p *sim.Proc) {
 	now := p.Now()
 	// Request timeouts.
 	for _, pr := range c.peers {
-		for bk, at := range pr.inflight {
-			if now.Sub(at) > c.cfg.RequestTimeout {
-				delete(pr.inflight, bk)
-				c.releaseRequest(bk)
+		for i := 0; i < len(pr.inflight); {
+			e := pr.inflight[i]
+			if now.Sub(e.at) > c.cfg.RequestTimeout {
+				last := len(pr.inflight) - 1
+				pr.inflight[i] = pr.inflight[last]
+				pr.inflight = pr.inflight[:last]
+				c.releaseRequest(e.bk)
+				continue // the swapped-in entry now sits at i
 			}
+			i++
 		}
 		if !pr.peerChoking && pr.amInterested {
 			c.fillRequests(p, pr)
@@ -644,65 +736,121 @@ func (c *Client) onTick(p *sim.Proc) {
 	}
 }
 
+// rankedPeer is one interested peer with its rate snapshot and its
+// position in Client.peers — rate descending, position ascending is the
+// total order the choker ranks by (identical to a stable sort of the
+// peer list by rate).
+type rankedPeer struct {
+	pr   *peer
+	rate float64
+	ord  int
+}
+
+// betterRanked is the choker's strict total order.
+func betterRanked(a, b rankedPeer) bool {
+	return a.rate > b.rate || (a.rate == b.rate && a.ord < b.ord)
+}
+
 // rechoke implements tit-for-tat: unchoke the UploadSlots-1 best
 // interested peers (by their upload rate to us while leeching, by our
 // upload rate to them while seeding) plus one optimistic unchoke
 // rotated every OptimisticRounds rounds.
+//
+// Selection is top-K over a single pass of rate snapshots instead of an
+// insertion sort of all interested peers: the old sort re-evaluated
+// RateEstimator.Rate (a window trim) inside the comparator, O(n²) trims
+// per round. Rates are evaluated exactly once per peer here, and the
+// unchoke set is tracked by a per-round stamp on the peer rather than a
+// freshly allocated map. The ranking order — rate descending, peer-list
+// position breaking ties — is the same one the stable sort produced, so
+// choke decisions and the optimistic RNG draw are bit-identical.
 func (c *Client) rechoke(p *sim.Proc) {
 	now := p.Now()
-	rate := func(pr *peer) float64 {
+	round := c.rechokeRound
+	// Snapshot interested peers and their rates, in peer-list order.
+	ranked := c.rankScratch[:0]
+	for ord, pr := range c.peers {
+		if !pr.peerInterested {
+			continue
+		}
+		r := pr.downRate.Rate(now)
 		if c.done {
-			return pr.upRate.Rate(now)
+			r = pr.upRate.Rate(now)
 		}
-		return pr.downRate.Rate(now)
+		ranked = append(ranked, rankedPeer{pr: pr, rate: r, ord: ord})
 	}
-	// Rank interested peers.
-	var interested []*peer
-	for _, pr := range c.peers {
-		if pr.peerInterested {
-			interested = append(interested, pr)
-		}
-	}
-	for i := 1; i < len(interested); i++ {
-		for j := i; j > 0 && rate(interested[j]) > rate(interested[j-1]); j-- {
-			interested[j], interested[j-1] = interested[j-1], interested[j]
-		}
-	}
+	c.rankScratch = ranked[:0]
+	// Top-K regular unchokes by bounded insertion (K = UploadSlots-1,
+	// a handful), marked with this round's stamp.
 	regular := c.cfg.UploadSlots - 1
-	unchoke := make(map[*peer]bool)
-	for i := 0; i < len(interested) && i < regular; i++ {
-		unchoke[interested[i]] = true
+	top := c.topScratch[:0]
+	if regular > 0 {
+		for i := range ranked {
+			n := len(top)
+			if n == regular && !betterRanked(ranked[i], ranked[top[n-1]]) {
+				continue
+			}
+			pos := n
+			for pos > 0 && betterRanked(ranked[i], ranked[top[pos-1]]) {
+				pos--
+			}
+			if n < regular {
+				top = append(top, 0)
+				copy(top[pos+1:], top[pos:n])
+			} else {
+				copy(top[pos+1:], top[pos:n-1])
+			}
+			top[pos] = i
+		}
+	}
+	c.topScratch = top[:0]
+	for _, i := range top {
+		ranked[i].pr.unchokeStamp = round
 	}
 	// Optimistic slot: rotate every OptimisticRounds rounds.
-	rotate := c.rechokeRound%c.cfg.OptimisticRounds == 1 || c.cfg.OptimisticRounds <= 1
+	rotate := round%c.cfg.OptimisticRounds == 1 || c.cfg.OptimisticRounds <= 1
 	var current *peer
 	for _, pr := range c.peers {
 		if pr.optimistic {
 			current = pr
 		}
 	}
-	if current == nil || rotate || unchoke[current] {
+	if current == nil || rotate || current.unchokeStamp == round {
 		if current != nil {
 			current.optimistic = false
 		}
-		var candidates []*peer
-		for _, pr := range interested {
-			if !unchoke[pr] {
-				candidates = append(candidates, pr)
+		// Candidates are the interested peers outside the regular set;
+		// the RNG draws a rank into their rate ordering, so select the
+		// k-th best by partial selection over the (small) remainder.
+		cand := c.candScratch[:0]
+		for _, rp := range ranked {
+			if rp.pr.unchokeStamp != round {
+				cand = append(cand, rp)
 			}
 		}
-		if len(candidates) > 0 {
-			current = candidates[c.h.Network().Kernel().Rand().Intn(len(candidates))]
+		c.candScratch = cand[:0]
+		if len(cand) > 0 {
+			k := c.h.Network().Kernel().Rand().Intn(len(cand))
+			for j := 0; j <= k; j++ {
+				best := j
+				for l := j + 1; l < len(cand); l++ {
+					if betterRanked(cand[l], cand[best]) {
+						best = l
+					}
+				}
+				cand[j], cand[best] = cand[best], cand[j]
+			}
+			current = cand[k].pr
 			current.optimistic = true
 		} else {
 			current = nil
 		}
 	}
 	if current != nil {
-		unchoke[current] = true
+		current.unchokeStamp = round
 	}
 	for _, pr := range c.peers {
-		want := unchoke[pr]
+		want := pr.unchokeStamp == round
 		if want && pr.amChoking {
 			pr.amChoking = false
 			c.om.unchokes.Inc()
@@ -726,8 +874,8 @@ func (c *Client) fillRequests(p *sim.Proc, pr *peer) {
 		if piece < 0 {
 			return
 		}
-		bk := blockKey{piece, begin}
-		pr.inflight[bk] = now
+		bk := blockKey{piece, begin}.pack()
+		pr.inflightAdd(bk, now)
 		c.outstanding[bk]++
 		if pr.send(p, Msg{ID: MsgRequest, Index: piece, Begin: begin, Length: length}) != nil {
 			return
@@ -737,19 +885,15 @@ func (c *Client) fillRequests(p *sim.Proc, pr *peer) {
 
 // nextBlock selects the next block to request from a peer: first an
 // unrequested block of a partial piece, then a fresh piece from the
-// picker, then endgame duplication.
+// picker, then endgame duplication. Partial pieces are visited in
+// ascending index order via the maintained c.partialOrder list — block
+// selection is trace-visible and must be deterministic for a fixed
+// seed, and re-sorting the partial map's keys per request was the
+// request path's main allocation.
 func (c *Client) nextBlock(pr *peer) (piece, begin, length int) {
 	have := c.store.Bitfield()
-	// Partial pieces in ascending index order: c.partials is a map and
-	// its iteration order is randomized per run, but block selection is
-	// trace-visible and must be deterministic for a fixed seed.
-	partials := make([]int, 0, len(c.partials))
-	for pi := range c.partials {
-		partials = append(partials, pi)
-	}
-	sort.Ints(partials)
 	// 1. Unrequested blocks of partial pieces the peer has.
-	for _, pi := range partials {
+	for _, pi := range c.partialOrder {
 		if !pr.bits.Has(pi) {
 			continue
 		}
@@ -769,9 +913,10 @@ func (c *Client) nextBlock(pr *peer) (piece, begin, length int) {
 	if pi >= 0 && c.partials[pi] == nil {
 		// Start the piece: request block 0 (further blocks follow as
 		// the pipeline refills).
-		if c.outstanding[blockKey{pi, 0}] == 0 {
+		if c.outstanding[blockKey{pi, 0}.pack()] == 0 {
 			c.picker.MarkPartial(pi)
-			c.partials[pi] = &pieceProgress{}
+			c.partials[pi] = newPieceProgress(c.meta.BlocksIn(pi))
+			c.partialsInsert(pi)
 			return pi, 0, c.meta.BlockSize(pi, 0)
 		}
 	} else if pi >= 0 {
@@ -780,7 +925,7 @@ func (c *Client) nextBlock(pr *peer) (piece, begin, length int) {
 		}
 	}
 	// 3. Endgame: duplicate outstanding blocks up to EndgameDup.
-	for _, pi := range partials {
+	for _, pi := range c.partialOrder {
 		if !pr.bits.Has(pi) {
 			continue
 		}
@@ -796,11 +941,11 @@ func (c *Client) nextBlock(pr *peer) (piece, begin, length int) {
 func (c *Client) freeBlock(pi int, pp *pieceProgress, pr *peer, maxDup int) int {
 	n := c.meta.BlocksIn(pi)
 	for b := 0; b < n; b++ {
-		if pp.received&(1<<uint(b)) != 0 {
+		if pp.has(b) {
 			continue
 		}
-		bk := blockKey{pi, b * BlockLength}
-		if _, mine := pr.inflight[bk]; mine {
+		bk := blockKey{pi, b * BlockLength}.pack()
+		if pr.inflightHas(bk) {
 			continue
 		}
 		if c.outstanding[bk] > maxDup {
@@ -815,10 +960,10 @@ func (c *Client) freeBlock(pi int, pp *pieceProgress, pr *peer, maxDup int) int 
 func (c *Client) freeBlockAny(pi int, pp *pieceProgress, maxDup int) int {
 	n := c.meta.BlocksIn(pi)
 	for b := 0; b < n; b++ {
-		if pp.received&(1<<uint(b)) != 0 {
+		if pp.has(b) {
 			continue
 		}
-		if c.outstanding[blockKey{pi, b * BlockLength}] > maxDup {
+		if c.outstanding[blockKey{pi, b * BlockLength}.pack()] > maxDup {
 			continue
 		}
 		return b
@@ -829,5 +974,5 @@ func (c *Client) freeBlockAny(pi int, pp *pieceProgress, maxDup int) int {
 // pieceSaturated reports whether a not-yet-started piece's first block
 // is already outstanding (conservative saturation check).
 func (c *Client) pieceSaturated(i int) bool {
-	return c.outstanding[blockKey{i, 0}] > 0
+	return c.outstanding[blockKey{i, 0}.pack()] > 0
 }

@@ -1,0 +1,96 @@
+package bt
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ip"
+	"repro/internal/sim"
+	"repro/internal/topo"
+	"repro/internal/vnet"
+)
+
+// BenchmarkSwarmScaleHot measures the two per-event client paths the
+// megaswarm refactor makes incremental, at a piece count (2048) where
+// the old O(pieces) rescans dominate:
+//
+//   - have: steady-state MsgHave handling on a nearly-complete
+//     download — the interest recomputation's worst case, since the
+//     old scan only stops at the last still-useful piece;
+//   - pick: rarest-first piece selection mid-download with a realistic
+//     availability spread.
+//
+// Both are gated to 0 allocs/op by scripts/bench_baseline.sh — these
+// run once per wire event (Have) and once per block request (Pick), so
+// a single allocation per call is a GC storm at 10k peers.
+func BenchmarkSwarmScaleHot(b *testing.B) {
+	const pieces = 2048
+
+	b.Run("have", func(b *testing.B) {
+		k := sim.New(1)
+		net := vnet.NewNetwork(k, nil, vnet.DefaultConfig())
+		h, err := net.AddHostClass(ip.MustParseAddr("10.0.0.1"), topo.LAN)
+		if err != nil {
+			b.Fatal(err)
+		}
+		meta, err := SyntheticTorrent("hot", int64(pieces)*DefaultPieceLength, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		store := NewSparseStorage(meta)
+		c := NewClient(h, meta, store, ip.Endpoint{}, DefaultClientConfig())
+		// Endgame state: everything verified but the last piece, so the
+		// interest scan cannot exit early.
+		for i := 0; i < pieces-1; i++ {
+			store.have.Set(i)
+		}
+		pr := newPeer(nil, ip.MustParseAddr("10.0.0.2"), pieces, false)
+		c.registerPeer(pr)
+		// nil conn: the steady state below never flips interest, so the
+		// client never sends on this peer.
+		pr.amInterested = true
+		c.onMsg(nil, pr, Msg{ID: MsgBitfield, Bits: Full(pieces).Bytes()})
+		if !pr.amInterested {
+			b.Fatal("peer should be interesting (last piece missing)")
+		}
+		msg := Msg{ID: MsgHave, Index: pieces / 2} // already set: pure recompute path
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.onMsg(nil, pr, msg)
+		}
+		if !pr.amInterested {
+			b.Fatal("interest flipped")
+		}
+	})
+
+	b.Run("pick", func(b *testing.B) {
+		rng := rand.New(rand.NewSource(1))
+		pk := NewPicker(pieces, rng)
+		pk.RandomFirstThreshold = 0
+		// Availability spread of a converged swarm: every piece known to
+		// 1..40 peers.
+		for p := 0; p < 40; p++ {
+			bf := NewBitfield(pieces)
+			for i := 0; i < pieces; i++ {
+				if rng.Intn(40) >= p {
+					bf.Set(i)
+				}
+			}
+			pk.AddBitfield(bf)
+		}
+		have := NewBitfield(pieces)
+		for i := 0; i < pieces; i += 2 {
+			have.Set(i)
+		}
+		peerHas := Full(pieces)
+		none := func(int) bool { return false }
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if pk.Pick(have, peerHas, none) < 0 {
+				b.Fatal("no pick")
+			}
+		}
+	})
+}

@@ -119,19 +119,26 @@ func (s *MemStorage) Bytes() []byte { return s.data }
 type SparseStorage struct {
 	meta   *MetaInfo
 	have   *Bitfield
-	blocks []uint64 // bitmap of received blocks per piece (≤64 blocks)
+	blocks []uint64 // received-block bitmaps, stride words per piece
+	stride int      // words per piece
 	tags   [][20]byte
 }
 
-// NewSparseStorage returns empty sparse storage for a leecher.
+// NewSparseStorage returns empty sparse storage for a leecher. The
+// received-block bitmap is stride words per piece: the earlier single
+// uint64 silently corrupted receipt tracking for pieces of more than 64
+// blocks (pieces over 1 MiB at the standard 16 KiB block size).
 func NewSparseStorage(meta *MetaInfo) *SparseStorage {
-	if meta.PieceLength/BlockLength > 64 {
-		panic("bt: SparseStorage supports at most 64 blocks per piece")
+	maxBlocks := (meta.PieceLength + BlockLength - 1) / BlockLength
+	stride := (maxBlocks + 63) / 64
+	if stride < 1 {
+		stride = 1
 	}
 	return &SparseStorage{
 		meta:   meta,
 		have:   NewBitfield(meta.NumPieces()),
-		blocks: make([]uint64, meta.NumPieces()),
+		blocks: make([]uint64, meta.NumPieces()*stride),
+		stride: stride,
 		tags:   make([][20]byte, meta.NumPieces()),
 	}
 }
@@ -167,7 +174,7 @@ func (s *SparseStorage) WriteBlock(piece, begin int, data []byte, sparseLen int)
 	if b < 0 || b >= s.meta.BlocksIn(piece) {
 		return fmt.Errorf("bt: block offset %d out of piece %d", begin, piece)
 	}
-	s.blocks[piece] |= 1 << uint(b)
+	s.blocks[piece*s.stride+b/64] |= 1 << uint(b%64)
 	s.tags[piece] = s.meta.PieceHashes[piece] // tag implied by protocol metadata
 	return nil
 }
@@ -178,9 +185,17 @@ func (s *SparseStorage) CompletePiece(piece int) (bool, error) {
 	if piece < 0 || piece >= s.meta.NumPieces() {
 		return false, fmt.Errorf("bt: piece %d out of range", piece)
 	}
-	want := uint64(1)<<uint(s.meta.BlocksIn(piece)) - 1
-	if s.blocks[piece] != want {
-		return false, nil
+	n := s.meta.BlocksIn(piece)
+	words := s.blocks[piece*s.stride : (piece+1)*s.stride]
+	for b0 := 0; b0 < n; b0 += 64 {
+		span := n - b0
+		want := ^uint64(0)
+		if span < 64 {
+			want = uint64(1)<<uint(span) - 1
+		}
+		if words[b0/64] != want {
+			return false, nil
+		}
 	}
 	if s.tags[piece] != s.meta.PieceHashes[piece] {
 		return false, nil

@@ -16,6 +16,13 @@ const TrackerPort ip.Port = 6969
 // DefaultNumWant is how many peers an announce returns (mainline: 50).
 const DefaultNumWant = 50
 
+// MaxNumWant caps a client-requested numwant. Without the cap a single
+// announce with numwant=10^9 makes the tracker build (and bencode) a
+// response listing the entire swarm, which at 10k peers is a
+// megabyte-scale reply per request — real trackers clamp for the same
+// reason.
+const MaxNumWant = 200
+
 // Announce events, as in the tracker HTTP protocol.
 const (
 	EventStarted   = "started"
@@ -41,6 +48,11 @@ type Tracker struct {
 	host   *vnet.Host
 	swarms map[[20]byte]*swarmPeers
 	stats  TrackerStats
+
+	// permScratch is the reusable buffer for the per-announce random
+	// permutation: rand.Perm allocates len(order) ints per call, which
+	// at 10k registered peers is ~80 KB per announce.
+	permScratch []int
 }
 
 type swarmPeers struct {
@@ -144,6 +156,9 @@ func (t *Tracker) announce(req []byte, from ip.Addr) ([]byte, error) {
 	numWant := int64(DefaultNumWant)
 	if nw, ok := dict["numwant"].(int64); ok && nw > 0 {
 		numWant = nw
+		if numWant > MaxNumWant {
+			numWant = MaxNumWant
+		}
 	}
 	self := ip.Endpoint{Addr: from, Port: ip.Port(portN)}
 
@@ -155,6 +170,13 @@ func (t *Tracker) announce(req []byte, from ip.Addr) ([]byte, error) {
 	t.stats.Announces++
 	switch event {
 	case EventStarted, EventEmpty, EventCompleted:
+		// A peer that registers port 0 (or garbage) is unreachable:
+		// handing its endpoint to other peers just burns their dial
+		// budget on guaranteed-failed connections. Real trackers reject
+		// these announces.
+		if portN <= 0 || portN > 65535 {
+			return nil, fmt.Errorf("invalid port %d", portN)
+		}
 		if event == EventStarted {
 			t.stats.Started++
 		}
@@ -180,10 +202,21 @@ func (t *Tracker) announce(req []byte, from ip.Addr) ([]byte, error) {
 		return nil, fmt.Errorf("unknown event %q", event)
 	}
 
-	// Random subset of other peers, like the real tracker.
+	// Random subset of other peers, like the real tracker. The shuffle
+	// replicates rand.Perm's exact algorithm into a reused buffer: the
+	// Intn draw sequence — and therefore the trace — is identical to
+	// rng.Perm(n), without the per-announce allocation.
 	rng := t.host.Network().Kernel().Rand()
 	var peers []any
-	perm := rng.Perm(len(sw.order))
+	if cap(t.permScratch) < len(sw.order) {
+		t.permScratch = make([]int, len(sw.order))
+	}
+	perm := t.permScratch[:len(sw.order)]
+	for i := range perm {
+		j := rng.Intn(i + 1)
+		perm[i] = perm[j]
+		perm[j] = i
+	}
 	for _, i := range perm {
 		if len(peers) >= int(numWant) {
 			break

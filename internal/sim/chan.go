@@ -9,11 +9,27 @@ var ErrClosed = errors.New("sim: channel closed")
 // Chan is a virtual-time message channel with an optional capacity bound,
 // analogous to a Go channel but scheduled by the kernel. A capacity of 0
 // means unbounded (senders never block).
+//
+// The buffer is a growable ring: the earlier sliding-slice version
+// (buf = buf[1:] on receive) marched the slice down its backing array,
+// forcing a fresh allocation every len(buf) operations even at a steady
+// queue depth of one — measurably the second-largest allocation source
+// in large swarm runs.
+//
+// All operations require the execution token (they are only meaningful
+// from simulated goroutines or event callbacks), so the ring and flags
+// are accessed without locking — Send/Recv are the per-message hot
+// path, and the former mutex round-trips were a measurable share of
+// event cost at swarm scale. On unbounded channels (cap == 0) nothing
+// ever waits on notFull, so those signals are skipped entirely.
 type Chan[T any] struct {
-	k        *Kernel
-	buf      []T
-	cap      int
-	closed   bool
+	k      *Kernel
+	buf    []T // ring storage; element i is buf[(head+i)%len(buf)]
+	head   int // index of the oldest element
+	n      int // number of buffered elements
+	cap    int
+	closed bool
+
 	notEmpty *Cond
 	notFull  *Cond
 }
@@ -28,29 +44,45 @@ func NewChan[T any](k *Kernel, capacity int) *Chan[T] {
 	}
 }
 
-// Len reports the number of buffered items.
-func (c *Chan[T]) Len() int {
-	c.k.mu.Lock()
-	defer c.k.mu.Unlock()
-	return len(c.buf)
+// push appends v to the ring, growing the storage when full.
+func (c *Chan[T]) push(v T) {
+	if c.n == len(c.buf) {
+		grown := make([]T, max(4, 2*len(c.buf)))
+		for i := 0; i < c.n; i++ {
+			grown[i] = c.buf[(c.head+i)%len(c.buf)]
+		}
+		c.buf, c.head = grown, 0
+	}
+	c.buf[(c.head+c.n)%len(c.buf)] = v
+	c.n++
 }
+
+// pop removes and returns the oldest element, zeroing its slot so the
+// ring does not pin dead payloads. Callers guarantee c.n > 0.
+func (c *Chan[T]) pop() T {
+	var zero T
+	v := c.buf[c.head]
+	c.buf[c.head] = zero
+	c.head = (c.head + 1) % len(c.buf)
+	c.n--
+	return v
+}
+
+// Len reports the number of buffered items.
+func (c *Chan[T]) Len() int { return c.n }
 
 // Send enqueues v, parking while the channel is full. It returns
 // ErrClosed if the channel is (or becomes) closed.
 func (c *Chan[T]) Send(p *Proc, v T) error {
 	for {
-		c.k.mu.Lock()
 		if c.closed {
-			c.k.mu.Unlock()
 			return ErrClosed
 		}
-		if c.cap == 0 || len(c.buf) < c.cap {
-			c.buf = append(c.buf, v)
-			c.k.mu.Unlock()
+		if c.cap == 0 || c.n < c.cap {
+			c.push(v)
 			c.notEmpty.Signal()
 			return nil
 		}
-		c.k.mu.Unlock()
 		c.notFull.Wait(p)
 	}
 }
@@ -58,13 +90,10 @@ func (c *Chan[T]) Send(p *Proc, v T) error {
 // TrySend enqueues v without blocking; it reports whether the item was
 // accepted (false when full or closed).
 func (c *Chan[T]) TrySend(v T) bool {
-	c.k.mu.Lock()
-	if c.closed || (c.cap > 0 && len(c.buf) >= c.cap) {
-		c.k.mu.Unlock()
+	if c.closed || (c.cap > 0 && c.n >= c.cap) {
 		return false
 	}
-	c.buf = append(c.buf, v)
-	c.k.mu.Unlock()
+	c.push(v)
 	c.notEmpty.Signal()
 	return true
 }
@@ -72,15 +101,13 @@ func (c *Chan[T]) TrySend(v T) bool {
 // TryRecv dequeues the oldest item without blocking; ok=false when the
 // buffer is empty.
 func (c *Chan[T]) TryRecv() (v T, ok bool) {
-	c.k.mu.Lock()
-	if len(c.buf) == 0 {
-		c.k.mu.Unlock()
+	if c.n == 0 {
 		return v, false
 	}
-	v = c.buf[0]
-	c.buf = c.buf[1:]
-	c.k.mu.Unlock()
-	c.notFull.Signal()
+	v = c.pop()
+	if c.cap > 0 {
+		c.notFull.Signal()
+	}
 	return v, true
 }
 
@@ -89,19 +116,16 @@ func (c *Chan[T]) TryRecv() (v T, ok bool) {
 func (c *Chan[T]) Recv(p *Proc) (T, error) {
 	var zero T
 	for {
-		c.k.mu.Lock()
-		if len(c.buf) > 0 {
-			v := c.buf[0]
-			c.buf = c.buf[1:]
-			c.k.mu.Unlock()
-			c.notFull.Signal()
+		if c.n > 0 {
+			v := c.pop()
+			if c.cap > 0 {
+				c.notFull.Signal()
+			}
 			return v, nil
 		}
 		if c.closed {
-			c.k.mu.Unlock()
 			return zero, ErrClosed
 		}
-		c.k.mu.Unlock()
 		c.notEmpty.Wait(p)
 	}
 }
@@ -111,19 +135,16 @@ func (c *Chan[T]) Recv(p *Proc) (T, error) {
 func (c *Chan[T]) RecvTimeout(p *Proc, d Duration) (v T, ok bool, err error) {
 	deadline := p.Now().Add(d)
 	for {
-		c.k.mu.Lock()
-		if len(c.buf) > 0 {
-			v = c.buf[0]
-			c.buf = c.buf[1:]
-			c.k.mu.Unlock()
-			c.notFull.Signal()
+		if c.n > 0 {
+			v = c.pop()
+			if c.cap > 0 {
+				c.notFull.Signal()
+			}
 			return v, true, nil
 		}
 		if c.closed {
-			c.k.mu.Unlock()
 			return v, false, ErrClosed
 		}
-		c.k.mu.Unlock()
 		if d <= 0 {
 			c.notEmpty.Wait(p)
 			continue
@@ -141,20 +162,15 @@ func (c *Chan[T]) RecvTimeout(p *Proc, d Duration) (v T, ok bool, err error) {
 // Close marks the channel closed. Buffered items remain receivable;
 // blocked receivers and senders are released.
 func (c *Chan[T]) Close() {
-	c.k.mu.Lock()
 	if c.closed {
-		c.k.mu.Unlock()
 		return
 	}
 	c.closed = true
-	c.k.mu.Unlock()
 	c.notEmpty.Broadcast()
-	c.notFull.Broadcast()
+	if c.cap > 0 {
+		c.notFull.Broadcast()
+	}
 }
 
 // Closed reports whether Close has been called.
-func (c *Chan[T]) Closed() bool {
-	c.k.mu.Lock()
-	defer c.k.mu.Unlock()
-	return c.closed
-}
+func (c *Chan[T]) Closed() bool { return c.closed }

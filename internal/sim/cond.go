@@ -5,16 +5,32 @@ package sim
 // Broadcast. Unlike sync.Cond there is no associated mutex — simulated
 // goroutines already execute one at a time, so state guarded by a Cond
 // can be read and written without further locking.
+//
+// Every Cond operation requires the execution token (a simulated
+// goroutine or an event callback); the waiter list is kernel state
+// under the serialization discipline documented on Kernel, so no
+// operation here touches k.mu.
 type Cond struct {
 	k       *Kernel
 	waiters []*condWaiter
 }
 
+// condWaiter is one task's registration on a Cond. A task parks on at
+// most one Cond at a time, so the waiter is embedded in the task struct
+// and reused across waits instead of being allocated per call — Wait is
+// the park path of every Chan operation and was a top-ten allocation
+// source in swarm runs. The timer is tracked as a raw (event, gen) pair
+// rather than an Event handle for the same reason.
 type condWaiter struct {
 	t        *task
-	fired    bool // woken by Signal/Broadcast (vs timeout)
+	c        *Cond // cond currently waited on; for timeout removal
+	fired    bool  // woken by Signal/Broadcast (vs timeout)
 	timedOut bool
-	timer    *Event
+	timerEv  *event
+	timerGen uint64
+	// timeoutFn is the timer callback, bound once per task on the first
+	// timed wait and reused afterwards.
+	timeoutFn func()
 }
 
 // NewCond returns a condition variable bound to kernel k.
@@ -30,29 +46,35 @@ func (c *Cond) WaitTimeout(p *Proc, d Duration) bool { return c.wait(p, d) }
 
 func (c *Cond) wait(p *Proc, d Duration) bool {
 	k := c.k
-	w := &condWaiter{t: p.t}
-	k.mu.Lock()
+	w := &p.t.cw
+	w.t = p.t
+	w.c = c
+	w.fired, w.timedOut, w.timerEv = false, false, nil
 	c.waiters = append(c.waiters, w)
 	if d > 0 {
-		w.timer = k.scheduleLocked(k.now.Add(d), func() {
-			k.mu.Lock()
-			defer k.mu.Unlock()
-			if w.fired {
-				return
+		if w.timeoutFn == nil {
+			// Timer callbacks run holding the execution token, so the
+			// waiter bookkeeping needs no lock either.
+			w.timeoutFn = func() {
+				if w.fired {
+					return
+				}
+				w.fired = true
+				w.timedOut = true
+				w.c.remove(w)
+				k.wake(w.t)
 			}
-			w.fired = true
-			w.timedOut = true
-			c.removeLocked(w)
-			k.wakeLocked(w.t)
-		})
+		}
+		ev := k.alloc(k.now.Add(d), w.timeoutFn)
+		k.events.push(ev)
+		w.timerEv, w.timerGen = ev, ev.gen
 	}
-	k.mu.Unlock()
 	p.park()
 	return !w.timedOut
 }
 
-// removeLocked unlinks w from the waiter list. Callers hold k.mu.
-func (c *Cond) removeLocked(w *condWaiter) {
+// remove unlinks w from the waiter list.
+func (c *Cond) remove(w *condWaiter) {
 	for i, x := range c.waiters {
 		if x == w {
 			c.waiters = append(c.waiters[:i], c.waiters[i+1:]...)
@@ -64,13 +86,6 @@ func (c *Cond) removeLocked(w *condWaiter) {
 // Signal releases the longest-waiting process, if any. It may be called
 // from simulated goroutines or from event callbacks.
 func (c *Cond) Signal() {
-	k := c.k
-	k.mu.Lock()
-	c.signalLocked()
-	k.mu.Unlock()
-}
-
-func (c *Cond) signalLocked() {
 	for len(c.waiters) > 0 {
 		w := c.waiters[0]
 		c.waiters = c.waiters[1:]
@@ -78,27 +93,22 @@ func (c *Cond) signalLocked() {
 			continue
 		}
 		w.fired = true
-		if w.timer != nil {
-			w.timer.ev.dead = true
+		// A live pending timer (gen still matches) must not fire for a
+		// waiter that has been signalled — and possibly reused since.
+		if w.timerEv != nil && w.timerEv.gen == w.timerGen {
+			w.timerEv.dead = true
 		}
-		c.k.wakeLocked(w.t)
+		c.k.wake(w.t)
 		return
 	}
 }
 
 // Broadcast releases every waiting process.
 func (c *Cond) Broadcast() {
-	k := c.k
-	k.mu.Lock()
 	for len(c.waiters) > 0 {
-		c.signalLocked()
+		c.Signal()
 	}
-	k.mu.Unlock()
 }
 
 // Len reports how many processes are currently parked on the Cond.
-func (c *Cond) Len() int {
-	c.k.mu.Lock()
-	defer c.k.mu.Unlock()
-	return len(c.waiters)
-}
+func (c *Cond) Len() int { return len(c.waiters) }

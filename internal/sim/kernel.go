@@ -78,7 +78,8 @@ type task struct {
 	wake    chan struct{} // capacity 1; token grant
 	blocked bool          // parked, waiting for a wake
 	exited  bool
-	killed  bool // task should unwind instead of resuming
+	killed  bool       // task should unwind instead of resuming
+	cw      condWaiter // reusable Cond registration (one park at a time)
 }
 
 // killedPanic is the sentinel used to unwind tasks that are still parked
@@ -87,6 +88,23 @@ type killedPanic struct{}
 
 // Kernel is a deterministic discrete-event simulation kernel.
 // Create one with New, spawn the root process with Go, then call Run.
+//
+// # Serialization discipline
+//
+// All kernel state below mu is owned by whoever holds the execution
+// token: the one running simulated goroutine, the event callback the
+// scheduler is dispatching, or the Run goroutine while no task runs.
+// Token handoffs (wake-channel sends, the running/cond handshake with
+// Run) each establish a happens-before edge, so token holders read and
+// write this state without touching mu at all — on the per-message hot
+// paths (Schedule, Chan, Cond, park/wake) the elided lock round-trips
+// are a measurable share of event cost at 10k-peer scale.
+//
+// mu still guards the cold boundary where true concurrency can exist:
+// the running/cond handshake itself, spawn (Go), Stop, the cancellable
+// At/After/Event handles, and the external observers Now/Snapshot/
+// QueueResizes (meaningful when the kernel is idle). Helpers suffixed
+// "Locked" require mu; everything else requires the token.
 type Kernel struct {
 	mu   sync.Mutex
 	cond *sync.Cond // signalled when the running task yields
@@ -103,6 +121,7 @@ type Kernel struct {
 
 	rng     *rand.Rand
 	stopped bool
+	halted  bool // a task-side scheduler hit the horizon; Run tears down
 	limit   Time // 0 = no limit
 	stats   Stats
 }
@@ -143,6 +162,16 @@ func (k *Kernel) Now() Time {
 	defer k.mu.Unlock()
 	return k.now
 }
+
+// LoopNow returns the current virtual time without synchronization.
+// It is safe only from code holding the execution token — a running
+// simulated goroutine or an event callback dispatched by the loop —
+// because the clock is only written by the token holder and every
+// prior write happened-before the token grant. Goroutines outside the
+// simulation (observers, HTTP handlers) must use Now. On the
+// per-message fast paths the mutex round-trip this elides is a
+// measurable share of event cost.
+func (k *Kernel) LoopNow() Time { return k.now }
 
 // Stats returns a snapshot of kernel activity counters.
 func (k *Kernel) Snapshot() Stats {
@@ -197,13 +226,100 @@ func (k *Kernel) Go(name string, fn func(p *Proc)) {
 }
 
 // exit releases the execution token when a task's function returns.
+// The dying task holds the token, so the bookkeeping is lock-free; the
+// handback to Run (inside yield) takes mu.
 func (k *Kernel) exit(t *task) {
-	k.mu.Lock()
 	t.exited = true
 	k.nLive--
+	k.yield()
+}
+
+// yield releases the execution token: if another task is ready (and
+// the run is not stopping), the baton passes to it directly — the
+// departing goroutine wakes the next one without a round-trip through
+// the kernel goroutine, which halves the real context switches per
+// activation. Otherwise control returns to the run loop via the
+// running/cond handshake. Callers hold the execution token. The ready
+// pop, FIFO order and Switches count are identical to the run loop's
+// own grant, so the execution schedule — and therefore every trace —
+// is unchanged.
+func (k *Kernel) yield() {
+	if len(k.ready) > 0 && !k.stopped && !k.halted {
+		t := k.ready[0]
+		copy(k.ready, k.ready[1:])
+		k.ready = k.ready[:len(k.ready)-1]
+		k.stats.Switches++
+		t.wake <- struct{}{}
+		return
+	}
+	k.mu.Lock()
 	k.running = false
 	k.cond.Signal()
 	k.mu.Unlock()
+}
+
+// sched advances the simulation on the calling (parking) task's own
+// goroutine: it dispatches events and grants ready tasks exactly as
+// the Run loop would, returning once self has been granted execution
+// again. When the grant goes to another task — or the run must end
+// (stop, horizon, deadlock, completion) and the Run goroutine has to
+// take over — it blocks on self's wake token instead.
+//
+// This is a pure execution-mechanics optimization: the event pops,
+// ready-queue order, Events/Switches counts and callback sequence are
+// byte-for-byte those of the Run loop, so traces are unchanged. What
+// changes is only which OS goroutine turns the crank — the common
+// park→event→wake cycle costs one real context switch (zero when the
+// dispatched event wakes the parker itself) instead of two round
+// trips through the Run goroutine.
+//
+// Called by the parking task, which holds the execution token — the
+// whole loop is mutex-free; only the teardown handback to Run takes
+// mu (see the serialization-discipline note on Kernel).
+func (k *Kernel) sched(self *task) {
+	for {
+		if k.stopped || k.halted {
+			break // Run tears down
+		}
+		if len(k.ready) > 0 {
+			t := k.ready[0]
+			copy(k.ready, k.ready[1:])
+			k.ready = k.ready[:len(k.ready)-1]
+			k.stats.Switches++
+			if t == self {
+				return // resumed: the execution token is ours again
+			}
+			t.wake <- struct{}{}
+			<-self.wake
+			return
+		}
+		if k.events.len() > 0 {
+			ev := k.events.pop()
+			if ev.dead {
+				k.recycle(ev)
+				continue
+			}
+			if k.limit > 0 && ev.at > k.limit {
+				k.now = k.limit
+				k.recycle(ev)
+				k.drain()
+				k.halted = true
+				break
+			}
+			k.now = ev.at
+			k.stats.Events++
+			fn := ev.fn
+			k.recycle(ev)
+			fn()
+			continue
+		}
+		break // no work: completion or deadlock — Run decides which
+	}
+	k.mu.Lock()
+	k.running = false
+	k.cond.Signal()
+	k.mu.Unlock()
+	<-self.wake
 }
 
 // At schedules fn to run at instant at (clamped to now if in the past).
@@ -222,15 +338,33 @@ func (k *Kernel) After(d Duration, fn func()) *Event {
 	return k.scheduleLocked(k.now.Add(d), fn)
 }
 
+// Schedule is At without the cancellable handle. The event struct itself
+// is pooled, so for callers that never cancel — the per-packet hop and
+// delivery events of the network layer — this path schedules with zero
+// allocations, where At allocates one Event handle per call.
+//
+// Schedule elides the kernel mutex: it may only be called from code
+// holding the execution token (a running simulated goroutine or an
+// event callback), where pushes are serialized with every other queue
+// access by the token's happens-before chain — the same contract as
+// LoopNow. It is the highest-frequency kernel entry point (several
+// calls per emulated message), so the two elided atomics are a
+// measurable share of per-event cost. External goroutines must use At.
+func (k *Kernel) Schedule(at Time, fn func()) {
+	k.events.push(k.alloc(at, fn))
+}
+
 func (k *Kernel) scheduleLocked(at Time, fn func()) *Event {
-	ev := k.allocLocked(at, fn)
+	ev := k.alloc(at, fn)
 	k.events.push(ev)
 	return &Event{k: k, ev: ev, gen: ev.gen}
 }
 
-// allocLocked takes an event struct off the free list (or allocates one)
-// and initializes it for scheduling. Callers hold k.mu.
-func (k *Kernel) allocLocked(at Time, fn func()) *event {
+// alloc takes an event struct off the free list (or allocates one)
+// and initializes it for scheduling. Callers hold the execution token
+// (or k.mu on the cold At/After paths — both serialize against every
+// other queue access).
+func (k *Kernel) alloc(at Time, fn func()) *event {
 	if at < k.now {
 		at = k.now
 	}
@@ -246,9 +380,10 @@ func (k *Kernel) allocLocked(at Time, fn func()) *event {
 	return ev
 }
 
-// recycleLocked returns a dispatched or cancelled event struct to the
-// free list. Callers hold k.mu; ev must no longer be queued.
-func (k *Kernel) recycleLocked(ev *event) {
+// recycle returns a dispatched or cancelled event struct to the free
+// list. Same serialization contract as alloc; ev must no longer be
+// queued.
+func (k *Kernel) recycle(ev *event) {
 	ev.gen++
 	ev.fn = nil
 	ev.next = k.free
@@ -299,7 +434,7 @@ func (e *Event) Reschedule(at Time) bool {
 	}
 	fn := e.ev.fn
 	e.ev.dead = true // lazily removed by the queue
-	ev := e.k.allocLocked(at, fn)
+	ev := e.k.alloc(at, fn)
 	e.k.events.push(ev)
 	e.ev, e.gen = ev, ev.gen
 	return true
@@ -330,6 +465,13 @@ func (k *Kernel) Run() error {
 			k.killAllLocked()
 			return nil
 		}
+		if k.halted {
+			// A task-side scheduler (sched) crossed the horizon: events
+			// are already drained, only the teardown is left.
+			k.halted = false
+			k.killAllLocked()
+			return nil
+		}
 		// 1. Run every ready task to its next park point, in FIFO order.
 		if len(k.ready) > 0 {
 			t := k.ready[0]
@@ -347,21 +489,21 @@ func (k *Kernel) Run() error {
 		if k.events.len() > 0 {
 			ev := k.events.pop()
 			if ev.dead {
-				k.recycleLocked(ev)
+				k.recycle(ev)
 				continue
 			}
 			if k.limit > 0 && ev.at > k.limit {
 				// Past the horizon: drop remaining events and stop.
 				k.now = k.limit
-				k.recycleLocked(ev)
-				k.drainLocked()
+				k.recycle(ev)
+				k.drain()
 				k.killAllLocked()
 				return nil
 			}
 			k.now = ev.at
 			k.stats.Events++
 			fn := ev.fn
-			k.recycleLocked(ev)
+			k.recycle(ev)
 			// Callbacks run without the kernel lock: no simulated
 			// goroutine is executing at this point (ready is empty and
 			// running is false), so callbacks may freely use the public
@@ -439,10 +581,11 @@ func (k *Kernel) RunUntil(limit Time) error {
 	return err
 }
 
-// drainLocked discards all pending events. Callers hold k.mu.
-func (k *Kernel) drainLocked() {
+// drain discards all pending events. Same serialization contract as
+// alloc.
+func (k *Kernel) drain() {
 	for k.events.len() > 0 {
-		k.recycleLocked(k.events.pop())
+		k.recycle(k.events.pop())
 	}
 }
 
@@ -454,8 +597,10 @@ func (k *Kernel) Stop() {
 	k.mu.Unlock()
 }
 
-// wakeLocked moves a parked task to the ready queue. Callers hold k.mu.
-func (k *Kernel) wakeLocked(t *task) {
+// wake moves a parked task to the ready queue. Callers hold the
+// execution token (wakes are triggered by running tasks and event
+// callbacks only).
+func (k *Kernel) wake(t *task) {
 	if !t.blocked || t.exited {
 		return
 	}

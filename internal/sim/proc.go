@@ -8,6 +8,11 @@ import "math/rand"
 type Proc struct {
 	k *Kernel
 	t *task
+
+	// wakeFn is the Sleep timer callback, bound lazily once per proc so
+	// the hottest blocking primitive does not allocate a fresh closure
+	// (plus an Event handle) on every call.
+	wakeFn func()
 }
 
 // Kernel returns the kernel this process runs under.
@@ -16,10 +21,10 @@ func (p *Proc) Kernel() *Kernel { return p.k }
 // Name returns the name the process was spawned with.
 func (p *Proc) Name() string { return p.t.name }
 
-// Now returns the current virtual time.
+// Now returns the current virtual time. The read is unsynchronized but
+// race-free: a Proc is only used by the goroutine it was granted to,
+// which holds the execution token (see Kernel.LoopNow).
 func (p *Proc) Now() Time {
-	p.k.mu.Lock()
-	defer p.k.mu.Unlock()
 	return p.k.now
 }
 
@@ -31,7 +36,9 @@ func (p *Proc) Rand() *rand.Rand { return p.k.rng }
 func (p *Proc) Go(name string, fn func(p *Proc)) { p.k.Go(name, fn) }
 
 // park blocks the calling task until another component wakes it via
-// kernel.wakeLocked. The caller must not hold k.mu.
+// kernel.wake. The caller holds the execution token, so the blocked
+// bookkeeping is mutex-free; sched hands the token on (or back to Run)
+// and returns once this task is granted again.
 //
 // A task that has been killed (run ended at a horizon, Stop, or after a
 // deadlock report) re-panics instead of blocking: this lets deferred
@@ -39,18 +46,13 @@ func (p *Proc) Go(name string, fn func(p *Proc)) { p.k.Go(name, fn) }
 // instantly rather than hang on a wake that will never come.
 func (p *Proc) park() {
 	k := p.k
-	k.mu.Lock()
 	if p.t.killed {
-		k.mu.Unlock()
 		panic(killedPanic{})
 	}
 	p.t.blocked = true
 	k.nBlock++
 	k.blocked[p.t] = struct{}{}
-	k.running = false
-	k.cond.Signal()
-	k.mu.Unlock()
-	<-p.t.wake
+	k.sched(p.t)
 	if p.t.killed {
 		panic(killedPanic{})
 	}
@@ -61,18 +63,17 @@ func (p *Proc) park() {
 // instant (a deterministic round-robin yield).
 func (p *Proc) Sleep(d Duration) {
 	k := p.k
-	k.mu.Lock()
+	if p.wakeFn == nil {
+		t := p.t
+		p.wakeFn = func() { k.wake(t) }
+	}
+	// The timer push is mutex-free: the calling task holds the execution
+	// token, which serializes every queue access (see Kernel.Schedule).
 	at := k.now
 	if d > 0 {
 		at = at.Add(d)
 	}
-	t := p.t
-	k.scheduleLocked(at, func() {
-		k.mu.Lock()
-		k.wakeLocked(t)
-		k.mu.Unlock()
-	})
-	k.mu.Unlock()
+	k.events.push(k.alloc(at, p.wakeFn))
 	p.park()
 }
 

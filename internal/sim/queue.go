@@ -167,13 +167,13 @@ func (q *calQueue) push(ev *event) {
 	q.scanOps++
 	q.n++
 	switch {
-	case q.n > 2*len(q.buckets) && len(q.buckets) < calMaxBuckets:
+	case q.n > len(q.buckets) && len(q.buckets) < calMaxBuckets:
 		q.resize(len(q.buckets) * 2)
 	case q.scanOps >= 256:
 		// Width watchdog: long insert scans mean overcrowded buckets —
 		// unless the crowding is same-instant ties, which no width can
 		// spread; rebuild only when retuning would actually move it.
-		if q.scanSteps/q.scanOps > 4 {
+		if q.scanSteps/q.scanOps > 2 {
 			if w := q.tuneWidth(); w < q.width/2 || w > 2*q.width {
 				q.resize(len(q.buckets))
 			}

@@ -85,6 +85,19 @@ func (c *Conn) onData(seq uint64, pk Packet) {
 	if seq < c.recvNext {
 		return // duplicate
 	}
+	if seq == c.recvNext && len(c.pending) == 0 {
+		// In-order arrival with nothing buffered — the overwhelming
+		// common case under FIFO pipes: deliver directly instead of
+		// bouncing the packet through the reorder map.
+		c.recvNext++
+		if c.sink != nil {
+			c.sink(pk, false)
+		} else {
+			c.inbox.TrySend(pk)
+		}
+		c.checkFin()
+		return
+	}
 	if c.pending == nil {
 		c.pending = make(map[uint64]Packet)
 	}
@@ -123,6 +136,11 @@ func (c *Conn) flushInOrder() {
 			c.inbox.TrySend(pk)
 		}
 	}
+	c.checkFin()
+}
+
+// checkFin closes the receive side once the FIN's sequence is reached.
+func (c *Conn) checkFin() {
 	if c.finSeen && c.recvNext >= c.finSeq {
 		c.inbox.Close()
 		if c.sink != nil && !c.sinkEOF {
@@ -208,7 +226,7 @@ func (c *Conn) Close(p *sim.Proc) error {
 			connID: c.id, seq: c.sendSeq,
 		}, true)
 	}
-	delete(c.h.conns, c.id)
+	c.h.conns.del(c.id)
 	return nil
 }
 
@@ -299,7 +317,7 @@ func (l *Listener) Close() {
 			break
 		}
 		c.closed = true
-		delete(l.h.conns, c.id)
+		l.h.conns.del(c.id)
 		c.abort()
 		l.h.net.transmit(l.h, message{
 			kind: kindRst, src: c.local, dst: c.remote, size: 20, connID: c.id,

@@ -1,0 +1,59 @@
+package vnet
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestConnTableChurn cross-checks the open-addressed connection table
+// against a reference map under randomized add/get/del churn,
+// including the backward-shift deletion path that keeps probe runs
+// contiguous.
+func TestConnTableChurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var tab connTable
+	ref := make(map[uint64]*Conn)
+	nextID := uint64(1)
+	live := []uint64{}
+
+	for op := 0; op < 20000; op++ {
+		switch r := rng.Intn(10); {
+		case r < 4: // add
+			c := &Conn{id: nextID}
+			nextID++
+			tab.add(c)
+			ref[c.id] = c
+			live = append(live, c.id)
+		case r < 7 && len(live) > 0: // delete a live id
+			i := rng.Intn(len(live))
+			id := live[i]
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+			tab.del(id)
+			delete(ref, id)
+		default: // probe a mix of live and absent ids
+			id := uint64(rng.Intn(int(nextID)) + 1)
+			if got, want := tab.get(id), ref[id]; got != want {
+				t.Fatalf("op %d: get(%d) = %p, want %p", op, id, got, want)
+			}
+		}
+		if tab.len() != len(ref) {
+			t.Fatalf("op %d: len = %d, want %d", op, tab.len(), len(ref))
+		}
+	}
+	for id, want := range ref {
+		if tab.get(id) != want {
+			t.Fatalf("final: get(%d) mismatch", id)
+		}
+	}
+	n := 0
+	tab.forEach(func(*Conn) { n++ })
+	if n != len(ref) {
+		t.Fatalf("forEach visited %d conns, want %d", n, len(ref))
+	}
+	// Absent deletes are no-ops.
+	tab.del(nextID + 100)
+	if tab.len() != len(ref) {
+		t.Fatal("deleting an absent id changed len")
+	}
+}

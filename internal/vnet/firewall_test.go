@@ -231,11 +231,11 @@ func TestListenerCloseRefusesBacklog(t *testing.T) {
 		// in the backlog. Close must refuse it, not strand it.
 		l.Close()
 		_, recvErr = c.Recv(p) // blocks until the RST lands
-		if len(a.conns) != 0 {
-			t.Errorf("dialer conn table has %d entries, want 0", len(a.conns))
+		if a.conns.len() != 0 {
+			t.Errorf("dialer conn table has %d entries, want 0", a.conns.len())
 		}
-		if len(b.conns) != 0 {
-			t.Errorf("listener conn table has %d entries, want 0", len(b.conns))
+		if b.conns.len() != 0 {
+			t.Errorf("listener conn table has %d entries, want 0", b.conns.len())
 		}
 		e.k.Stop()
 	})

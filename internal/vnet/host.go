@@ -17,7 +17,7 @@ type Host struct {
 	up, down *netem.Pipe
 	ports    map[ip.Port]*portEntry
 	nextPort ip.Port
-	conns    map[uint64]*Conn
+	conns    connTable
 	meter    SyscallMeter
 	bindEnv  ip.Addr // non-zero: BINDIP interception active
 	linkDown bool    // interface administratively down (Network.SetLinkUp)
@@ -94,12 +94,7 @@ func (h *Host) allocPort() ip.Port {
 }
 
 // conn registers c in the host's connection table.
-func (h *Host) addConn(c *Conn) {
-	if h.conns == nil {
-		h.conns = make(map[uint64]*Conn)
-	}
-	h.conns[c.id] = c
-}
+func (h *Host) addConn(c *Conn) { h.conns.add(c) }
 
 // Dial opens a TCP-like connection to raddr, performing the emulated
 // socket()/[bind()]/connect() sequence and a SYN/SYNACK handshake on the
@@ -125,7 +120,7 @@ func (h *Host) Dial(p *sim.Proc, raddr ip.Endpoint) (*Conn, error) {
 		kind: kindSyn, src: local, dst: raddr, size: 20, connID: c.id,
 	}, true)
 	if !sent {
-		delete(h.conns, c.id)
+		h.conns.del(c.id)
 		return nil, fmt.Errorf("dial %v: %w", raddr, ErrNetUnreachable)
 	}
 	if !c.established && !c.refused {
@@ -135,10 +130,10 @@ func (h *Host) Dial(p *sim.Proc, raddr ip.Endpoint) (*Conn, error) {
 	case c.established:
 		return c, nil
 	case c.refused:
-		delete(h.conns, c.id)
+		h.conns.del(c.id)
 		return nil, fmt.Errorf("dial %v: %w", raddr, ErrConnRefused)
 	default:
-		delete(h.conns, c.id)
+		h.conns.del(c.id)
 		return nil, fmt.Errorf("dial %v: %w", raddr, ErrTimeout)
 	}
 }
@@ -190,12 +185,12 @@ func (h *Host) deliver(m message) {
 		h.addConn(c)
 		n.transmit(h, message{kind: kindSynAck, src: m.dst, dst: m.src, size: 20, connID: m.connID}, true)
 	case kindSynAck:
-		if c := h.conns[m.connID]; c != nil && !c.established {
+		if c := h.conns.get(m.connID); c != nil && !c.established {
 			c.established = true
 			c.hs.Broadcast()
 		}
 	case kindRst:
-		if c := h.conns[m.connID]; c != nil {
+		if c := h.conns.get(m.connID); c != nil {
 			if !c.established {
 				c.refused = true
 				c.hs.Broadcast()
@@ -204,17 +199,17 @@ func (h *Host) deliver(m message) {
 				// listener closed with this conn still in its backlog)
 				// tears the endpoint down: further sends fail and the
 				// reader observes the close.
-				delete(h.conns, m.connID)
+				h.conns.del(m.connID)
 				c.closed = true
 				c.abort()
 			}
 		}
 	case kindData:
-		if c := h.conns[m.connID]; c != nil {
+		if c := h.conns.get(m.connID); c != nil {
 			c.onData(m.seq, Packet{Data: m.payload, Meta: m.meta, Size: m.size, From: m.src})
 		}
 	case kindFin:
-		if c := h.conns[m.connID]; c != nil {
+		if c := h.conns.get(m.connID); c != nil {
 			c.onFin(m.seq)
 		}
 	case kindDatagram:

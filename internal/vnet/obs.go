@@ -33,22 +33,22 @@ func (n *Network) initObs() {
 	reg.GaugeFunc("p2plab_net_conns_established", "Connections currently established, summed over hosts.", func() float64 {
 		est := 0
 		for _, h := range n.order {
-			for _, c := range h.conns {
+			h.conns.forEach(func(c *Conn) {
 				if c.established {
 					est++
 				}
-			}
+			})
 		}
 		return float64(est)
 	})
 	reg.GaugeFunc("p2plab_net_conns_half_open", "Connections registered but not (or no longer) established.", func() float64 {
 		half := 0
 		for _, h := range n.order {
-			for _, c := range h.conns {
+			h.conns.forEach(func(c *Conn) {
 				if !c.established {
 					half++
 				}
-			}
+			})
 		}
 		return float64(half)
 	})

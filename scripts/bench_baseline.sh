@@ -8,31 +8,52 @@
 # two queue implementations), the figure-level scheduler workload, the
 # flow-solver churn path (incremental component re-solve), the
 # firewall classifier (linear scan vs hash index over a 50k-rule
-# table), and the obs-registry update paid on instrumented transmit
-# paths: the benchmarks whose trajectory the queue/pooling/flow/
-# classifier/observability work is expected to move. Compare machines
-# with a grain of salt — the baseline is only meaningful against runs
-# on comparable hardware.
+# table), the obs-registry update paid on instrumented transmit
+# paths, and the swarm-scale family (megaswarm peers/sec plus the bt
+# per-event hot paths): the benchmarks whose trajectory the
+# queue/pooling/flow/classifier/observability/hot-loop work is
+# expected to move. Compare machines with a grain of salt — the
+# baseline is only meaningful against runs on comparable hardware.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-PATTERN='BenchmarkKernelModes|BenchmarkKernelQueues|BenchmarkFig1SchedulerScaling|BenchmarkSweep|BenchmarkFlowChurn|BenchmarkRuleEval|BenchmarkObsHot'
+PATTERN='BenchmarkKernelModes|BenchmarkKernelQueues|BenchmarkFig1SchedulerScaling|BenchmarkSweep|BenchmarkFlowChurn|BenchmarkRuleEval|BenchmarkObsHot|BenchmarkSwarmScaleHot'
 OUT=BENCH_baseline.json
 
 run() {
-  go test -run=NONE -bench "$PATTERN" -benchmem -benchtime=1s -count=1 .
+  # BenchmarkSwarmScaleHot lives in internal/bt; everything else in
+  # the root package.
+  go test -run=NONE -bench "$PATTERN" -benchmem -benchtime=1s -count=1 . ./internal/bt/
+  # The megaswarm points run whole horizon-bounded swarms: one
+  # iteration each (the 10k point alone is minutes of wall time).
+  go test -run=NONE -bench 'BenchmarkSwarmScale$' -benchmem -benchtime=1x \
+    -timeout 30m -count=1 .
 }
 
-# Hot-path metric updates must stay pure memory writes: fail if any
-# BenchmarkObsHot variant reports a nonzero allocs/op (DESIGN.md
-# decision 9).
+# Hot-path updates must stay allocation-free: fail if any variant of
+# the given benchmark family reports a nonzero allocs/op. Applied to
+# the obs-registry update (DESIGN.md decision 9) and to the bt
+# per-event hot paths — Have/interest and piece picking (DESIGN.md
+# decision 10).
 gate_zero_alloc() {
-  local raw=$1
-  if grep -E '^BenchmarkObsHot/' "$raw" | grep -vq ' 0 allocs/op'; then
-    echo "obs hot-path update allocates:" >&2
-    grep -E '^BenchmarkObsHot/' "$raw" >&2
+  local raw=$1 family=$2 what=$3
+  # A family that produced no output is a failure too — otherwise a
+  # package dropped from the bench run would pass the gate vacuously.
+  if ! grep -qE "^${family}/" "$raw"; then
+    echo "$what: no benchmark output found for ${family}" >&2
     return 1
   fi
+  if grep -E "^${family}/" "$raw" | grep -vq ' 0 allocs/op'; then
+    echo "$what allocates:" >&2
+    grep -E "^${family}/" "$raw" >&2
+    return 1
+  fi
+}
+
+gate_all() {
+  local raw=$1
+  gate_zero_alloc "$raw" BenchmarkObsHot 'obs hot-path update'
+  gate_zero_alloc "$raw" BenchmarkSwarmScaleHot 'bt swarm hot path'
 }
 
 case "${1:-record}" in
@@ -40,14 +61,14 @@ case "${1:-record}" in
     raw=$(mktemp)
     trap 'rm -f "$raw"' EXIT
     run | tee "$raw" | go run ./cmd/benchjson > "$OUT"
-    gate_zero_alloc "$raw"
+    gate_all "$raw"
     echo "wrote $OUT"
     ;;
   check)
     tmp=$(mktemp) raw=$(mktemp)
     trap 'rm -f "$tmp" "$raw"' EXIT
     run | tee "$raw" | go run ./cmd/benchjson > "$tmp"
-    gate_zero_alloc "$raw"
+    gate_all "$raw"
     # The churn benchmark is the flow solver's fast-path contract
     # (ISSUE 6: batched re-rates): pin it tighter than the global
     # tolerance so the batching win cannot silently erode.
