@@ -655,6 +655,57 @@ func BenchmarkSwarmScale(b *testing.B) {
 	}
 }
 
+// BenchmarkSnapshotSync runs the snapshot-sync family — the inverse of
+// the megaswarm regime: 4 clients pull a 32 MiB file in 2 MiB pieces
+// over 5 connections each, with a web seed behind the swarm, under the
+// flow model with a 250 ms re-rate window. Variants cover the uncapped
+// baseline, symmetric 256 KiB/s token-bucket caps (the limiter, not
+// the link, is the bottleneck) and the seederless cold CDN fill. The
+// reported virtual-s/s tracks the cost of the rate-limiter pumps and
+// the web-seed request path on top of the swarm machinery.
+func BenchmarkSnapshotSync(b *testing.B) {
+	base := exp.SnapshotSyncParams{
+		Clients:       4,
+		Seeders:       1,
+		WebSeeds:      1,
+		FileSize:      32 << 20,
+		PieceLength:   2 << 20,
+		ConnCap:       5,
+		StartInterval: time.Second,
+		Class:         topo.FastDSL,
+		Model:         netem.ModelFlow,
+		Window:        250 * time.Millisecond,
+		Seed:          1,
+		Horizon:       time.Hour,
+	}
+	variants := []struct {
+		name string
+		mut  func(*exp.SnapshotSyncParams)
+	}{
+		{"uncapped", func(*exp.SnapshotSyncParams) {}},
+		{"capped", func(p *exp.SnapshotSyncParams) { p.UpRate, p.DownRate = 256<<10, 256<<10 }},
+		{"coldfill", func(p *exp.SnapshotSyncParams) { p.Seeders = 0 }},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			params := base
+			v.mut(&params)
+			var virtual time.Duration
+			for i := 0; i < b.N; i++ {
+				out, err := exp.RunSnapshotSync(params)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !out.AllDone {
+					b.Fatal("snapshot sync incomplete")
+				}
+				virtual += time.Duration(out.EndedAt)
+			}
+			b.ReportMetric(virtual.Seconds()/b.Elapsed().Seconds(), "virtual-s/s")
+		})
+	}
+}
+
 // BenchmarkObsHot measures the obs-registry update cost paid on the
 // vnet transmit path when observability is attached: a counter bump
 // and a histogram observation per message-sized unit of work, plus the

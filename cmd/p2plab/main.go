@@ -11,6 +11,7 @@
 //	p2plab sweep -exp dht -peers 8,16,32 -class lan,dsl -seeds 1,2,3
 //	p2plab sweep -exp swarm -peers 8,16 -churn 0,0.3 -workers 4 -out results/
 //	p2plab sweep -exp scenario -scenario flash-crowd,churn-storm -seeds 1,2
+//	p2plab sweep -exp snapshot-sync -pieces 1048576,2097152 -conncap 3,5 -rate 0,65536
 //	p2plab list                      # the scenario catalogue
 //	p2plab run transatlantic-partition-heal
 //	p2plab run -spec my-scenario.json -trace 40

@@ -20,7 +20,7 @@ import (
 // merged aggregate table and write per-cell results as CSV.
 func sweepMain(args []string) error {
 	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
-	expName := fs.String("exp", "swarm", "experiment family (swarm, churn, dht, gossip, sched, scenario, ping)")
+	expName := fs.String("exp", "swarm", "experiment family (swarm, churn, dht, gossip, sched, scenario, ping, snapshot-sync)")
 	peers := fs.String("peers", "", "comma-separated population sizes (default: experiment-specific)")
 	churn := fs.String("churn", "", "comma-separated churn fractions in [0,1)")
 	classes := fs.String("class", "", "comma-separated link classes (dsl, modem, slow-dsl, fast-dsl, campus, office, lan)")
@@ -28,6 +28,9 @@ func sweepMain(args []string) error {
 	windows := fs.String("window", "", "comma-separated flow-model batch windows (e.g. 0,50ms,250ms; needs -model flow)")
 	scenarios := fs.String("scenario", "", "comma-separated corpus scenario names (scenario experiment; default: all)")
 	rules := fs.String("rules", "", "comma-separated firewall rule-table sizes (ping and swarm families)")
+	pieces := fs.String("pieces", "", "comma-separated piece sizes in bytes (snapshot-sync; default 2097152)")
+	connCaps := fs.String("conncap", "", "comma-separated per-client connection caps (snapshot-sync; default 5)")
+	rates := fs.String("rate", "", "comma-separated symmetric rate caps in bytes/s, 0 = unlimited (snapshot-sync)")
 	classifiers := fs.String("classifier", "", "comma-separated firewall classifiers (linear, indexed)")
 	seeds := fs.String("seeds", "", "comma-separated random seeds")
 	workers := fs.Int("workers", 0, "worker pool size (default: one per CPU)")
@@ -68,6 +71,15 @@ func sweepMain(args []string) error {
 	}
 	if g.Rules, err = parseInts(*rules); err != nil {
 		return fmt.Errorf("-rules: %w", err)
+	}
+	if g.PieceSizes, err = parseInts(*pieces); err != nil {
+		return fmt.Errorf("-pieces: %w", err)
+	}
+	if g.ConnCaps, err = parseInts(*connCaps); err != nil {
+		return fmt.Errorf("-conncap: %w", err)
+	}
+	if g.Rates, err = parseInt64s(*rates); err != nil {
+		return fmt.Errorf("-rate: %w", err)
 	}
 	if g.Classifiers, err = parseClassifiers(*classifiers); err != nil {
 		return fmt.Errorf("-classifier: %w", err)

@@ -30,7 +30,11 @@ type ClientConfig struct {
 	// lasts (mainline: 3 → 30 s).
 	OptimisticRounds int
 	// PipelineDepth is the outstanding-request backlog per peer
-	// (mainline: ~5).
+	// (mainline: ~5). 0 auto-scales to the torrent's blocks-per-piece
+	// (clamped to [5,256]): a fixed 5-deep pipeline is 80 KiB in
+	// flight, which caps an elephant flow at 80 KiB per RTT no matter
+	// how fat the pipe — the snapshot-sync regime (2 MiB pieces over
+	// long fat paths) needs the window to grow with the piece size.
 	PipelineDepth int
 	// RequestTimeout re-issues a block request that has not been
 	// answered (covers choked-then-dropped requests).
@@ -45,6 +49,23 @@ type ClientConfig struct {
 	ReannounceMin time.Duration
 	// Tick is the internal maintenance timer granularity.
 	Tick time.Duration
+
+	// UploadRate caps payload upload in bytes/second via a
+	// deterministic virtual-time token bucket (0: unlimited). The
+	// asymmetric pair mirrors anacrolix's UploadRateLimiter /
+	// DownloadRateLimiter knobs in Erigon's snapshot downloader.
+	UploadRate int64
+	// DownloadRate caps payload download in bytes/second (0:
+	// unlimited); enforced by gating request issue, so the cap is on
+	// requested bytes per virtual second.
+	DownloadRate int64
+	// RateBurst is the token-bucket capacity in bytes shared by both
+	// caps (0: twice the piece length, at least 128 KiB — Erigon uses
+	// 2×DefaultPieceSize).
+	RateBurst int64
+	// WebSeeds lists always-available block servers (see WebSeed) the
+	// client attaches as permanently-unchoked pseudo-peers.
+	WebSeeds []ip.Endpoint
 }
 
 // DefaultClientConfig mirrors BitTorrent 4.x defaults.
@@ -89,6 +110,8 @@ const (
 	evPeers
 	evTick
 	evStop
+	evUpPump   // upload token bucket refilled: drain queued uploads
+	evFillWake // download token bucket refilled: resume request issue
 )
 
 type event struct {
@@ -96,6 +119,7 @@ type event struct {
 	peer  *peer
 	msg   Msg
 	peers []ip.Endpoint
+	ivl   time.Duration // tracker announce interval (evPeers)
 }
 
 // pieceProgress tracks block arrival for an in-progress piece. The
@@ -135,12 +159,12 @@ type Client struct {
 	// freeBox is the message-box pool for sends (see msgBox).
 	freeBox *msgBox
 	peers   []*peer
-	byAddr map[ip.Addr]*peer
-	picker *Picker
+	byAddr  map[ip.Addr]*peer
+	picker  *Picker
 
 	partials     map[int]*pieceProgress
-	partialOrder []int            // keys of partials, ascending (block selection order)
-	outstanding  map[uint64]int   // global request refcounts by blockKey.pack() (endgame > 1)
+	partialOrder []int          // keys of partials, ascending (block selection order)
+	outstanding  map[uint64]int // global request refcounts by blockKey.pack() (endgame > 1)
 
 	// Reusable scratch for per-event work, so the hot paths allocate
 	// nothing in steady state.
@@ -158,6 +182,26 @@ type Client struct {
 	lastAnnounce sim.Time
 	rechokeRound int
 	dialing      int
+
+	// depth is the effective pipeline depth (PipelineDepth, or the
+	// auto-scaled blocks-per-piece value when the config says 0).
+	depth int
+	// announceIvl is the re-announce interval the tracker handed out
+	// in its last response; periodic announces keep the registration
+	// alive (0 until the first response: DefaultAnnounceInterval).
+	announceIvl time.Duration
+	// Rate limiting (nil: unlimited). Uploads that outrun the bucket
+	// queue in upQueue and drain on evUpPump; request issue that
+	// outruns the download bucket re-arms via evFillWake.
+	upLim         *TokenBucket
+	downLim       *TokenBucket
+	upQueue       []pendingUpload
+	upPumpArmed   bool
+	fillWakeArmed bool
+	// wsConns counts connected web-seed pseudo-peers inside c.peers;
+	// they are excluded from the MaxPeers/MaxInitiate/MinPeers budgets
+	// (a CDN connection is not swarm capacity).
+	wsConns int
 
 	stopped  bool
 	listener *vnet.Listener
@@ -192,6 +236,26 @@ func NewClient(h *vnet.Host, meta *MetaInfo, store Storage, tracker ip.Endpoint,
 	if store.Bitfield().Complete() {
 		c.done = true
 	}
+	c.depth = cfg.PipelineDepth
+	if c.depth <= 0 {
+		// Auto-scale: keep one full piece in flight per peer. 256 KiB
+		// pieces keep the mainline depth of 5 per the clamp; 2 MiB
+		// pieces get 128 (2 MiB in flight), enough to fill a long fat
+		// pipe instead of stalling at 80 KiB/RTT.
+		c.depth = (meta.PieceLength + BlockLength - 1) / BlockLength
+		if c.depth < 5 {
+			c.depth = 5
+		}
+		if c.depth > 256 {
+			c.depth = 256
+		}
+	}
+	burst := cfg.RateBurst
+	if burst <= 0 {
+		burst = 2 * int64(meta.PieceLength)
+	}
+	c.upLim = NewTokenBucket(cfg.UploadRate, burst)
+	c.downLim = NewTokenBucket(cfg.DownloadRate, burst)
 	return c
 }
 
@@ -248,7 +312,45 @@ func (c *Client) Start() {
 			}
 		})
 		c.announceAsync(p, EventStarted)
+		if !c.done {
+			for _, ws := range c.cfg.WebSeeds {
+				c.dialWebSeed(p, ws)
+			}
+		}
 		c.loop(p)
+	})
+}
+
+// dialWebSeed connects to a web seed and attaches it as a pseudo-peer:
+// no handshake (the server speaks raw block requests), a full
+// bitfield, never choking. Runs in a transient goroutine like dialPeer
+// but outside the dial budget — a CDN connection is not swarm
+// capacity.
+func (c *Client) dialWebSeed(p *sim.Proc, ep ip.Endpoint) {
+	p.Go("bt-webseed-dial", func(p *sim.Proc) {
+		conn, err := c.h.Dial(p, ep)
+		if err != nil {
+			return
+		}
+		pr := newPeer(conn, conn.RemoteAddr().Addr, c.meta.NumPieces(), true)
+		pr.webseed = true
+		pr.peerChoking = false
+		pr.bits = Full(c.meta.NumPieces())
+		pr.cl = c
+		conn.SetSink(func(pk vnet.Packet, closed bool) {
+			if closed {
+				c.events.TrySend(event{kind: evPeerClosed, peer: pr})
+				return
+			}
+			if b, ok := pk.Meta.(*msgBox); ok {
+				m := b.m
+				b.release()
+				c.events.TrySend(event{kind: evMsg, peer: pr, msg: m})
+			} else if m, ok := pk.Meta.(Msg); ok {
+				c.events.TrySend(event{kind: evMsg, peer: pr, msg: m})
+			}
+		})
+		c.events.TrySend(event{kind: evPeerJoined, peer: pr})
 	})
 }
 
@@ -290,12 +392,12 @@ func (c *Client) left() int64 { return c.meta.Length - c.BytesDone() }
 func (c *Client) announceAsync(p *sim.Proc, evt string) {
 	c.lastAnnounce = p.Now()
 	p.Go("bt-announce", func(p *sim.Proc) {
-		peers, err := AnnounceRequest(p, c.h, c.tracker, c.meta.InfoHash(),
+		peers, ivl, err := AnnounceRequest(p, c.h, c.tracker, c.meta.InfoHash(),
 			c.cfg.Port, evt, c.left(), DefaultNumWant)
 		if err != nil {
 			return
 		}
-		c.events.TrySend(event{kind: evPeers, peers: peers})
+		c.events.TrySend(event{kind: evPeers, peers: peers, ivl: ivl})
 	})
 }
 
@@ -396,12 +498,23 @@ func (c *Client) loop(p *sim.Proc) {
 			}
 			c.onMsg(p, ev.peer, ev.msg)
 		case evPeers:
+			if ev.ivl > 0 {
+				c.announceIvl = ev.ivl
+			}
 			if !c.stopped {
 				c.onPeers(p, ev.peers)
 			}
 		case evTick:
 			if !c.stopped {
 				c.onTick(p)
+			}
+		case evUpPump:
+			if !c.stopped {
+				c.onUpPump(p)
+			}
+		case evFillWake:
+			if !c.stopped {
+				c.onFillWake(p)
 			}
 		case evStop:
 			c.onStop(p)
@@ -411,14 +524,66 @@ func (c *Client) loop(p *sim.Proc) {
 }
 
 func (c *Client) onJoin(p *sim.Proc, pr *peer) {
+	// The connection can die between admit and this event: a remote at
+	// its MaxPeers cap accepts the handshake, then rejects and closes in
+	// its own onJoin, and our sink's close notification may be queued
+	// ahead of the join. onClose then runs first on a never-registered
+	// peer. Registering it here anyway would leave a closed zombie in
+	// c.peers forever — it counts toward MinPeers (suppressing the
+	// starvation re-announce) and occupies byAddr (blocking a re-dial),
+	// wedging the client with no live connections.
+	if pr.closed {
+		return
+	}
 	// Note: the dial budget is NOT released here. dialPeer's deferred
 	// nudge decrements c.dialing exactly once per attempt, successful or
 	// not; decrementing again for initiated peers made every successful
 	// dial count twice, drifting c.dialing negative and letting onPeers
 	// dial past MaxInitiate.
-	if len(c.peers) >= c.cfg.MaxPeers || c.byAddr[pr.addr] != nil || pr.addr == c.h.Addr() {
+	if pr.webseed {
+		// A web seed bypasses the swarm-capacity budget and the peer
+		// wire protocol: no bitfield exchange (its bitfield is full by
+		// construction), no interest signaling, no choking either way.
+		if c.byAddr[pr.addr] != nil {
+			// Mark closed so the sink's close event cannot reach onClose
+			// and un-count this peer's (never-added) full bitfield.
+			pr.closed = true
+			pr.conn.Close(p)
+			return
+		}
+		c.registerPeer(pr)
+		c.wsConns++
+		c.picker.AddBitfield(pr.bits)
+		pr.useful = usefulCount(pr.bits, c.store.Bitfield())
+		pr.amInterested = !c.done && pr.useful > 0
+		c.fillRequests(p, pr)
+		return
+	}
+	if c.byAddr[pr.addr] != nil || pr.addr == c.h.Addr() {
 		pr.conn.Close(p)
 		return
+	}
+	if len(c.peers)-c.wsConns >= c.cfg.MaxPeers {
+		// At capacity, a seed prefers a peer it can serve over a
+		// redundant seed-to-seed connection: evict the first mutual-seed
+		// conn (peer-list order, deterministic) and admit the newcomer.
+		// Without this, a tightly capped swarm (snapshot regime: 5 conns
+		// per client) can wedge — the late joiner is rejected by every
+		// peer forever once the others form a saturated clique of seeds.
+		var victim *peer
+		if c.done {
+			for _, pr2 := range c.peers {
+				if !pr2.webseed && pr2.bits.Complete() {
+					victim = pr2
+					break
+				}
+			}
+		}
+		if victim == nil {
+			pr.conn.Close(p)
+			return
+		}
+		c.onClose(p, victim)
 	}
 	c.registerPeer(pr)
 	if !c.sawPeer {
@@ -445,6 +610,9 @@ func (c *Client) onClose(p *sim.Proc, pr *peer) {
 		return
 	}
 	pr.closed = true
+	if pr.webseed && pr.idx >= 0 {
+		c.wsConns--
+	}
 	pr.conn.Close(p)
 	// Ordered removal by recorded index, not a pointer scan. The order
 	// of c.peers is trace-visible (Have broadcasts, rechoke ranking), so
@@ -458,7 +626,12 @@ func (c *Client) onClose(p *sim.Proc, pr *peer) {
 		}
 		pr.idx = -1
 	}
-	delete(c.byAddr, pr.addr)
+	// Only drop the index entry this peer owns: a rejected duplicate
+	// connection closing must not evict the live peer at the same
+	// address.
+	if c.byAddr[pr.addr] == pr {
+		delete(c.byAddr, pr.addr)
+	}
 	c.picker.RemoveBitfield(pr.bits)
 	for _, e := range pr.inflight {
 		c.releaseRequest(e.bk)
@@ -522,6 +695,9 @@ func (c *Client) updateInterest(p *sim.Proc, pr *peer) {
 	want := !c.done && pr.useful > 0
 	if want != pr.amInterested {
 		pr.amInterested = want
+		if pr.webseed {
+			return // no interest wire traffic to a block server
+		}
 		id := MsgNotInterested
 		if want {
 			id = MsgInterested
@@ -548,11 +724,90 @@ func (c *Client) onRequest(p *sim.Proc, pr *peer, m Msg) {
 			out.Tag = ss.Tag(m.Index)
 		}
 	}
+	n := int64(out.BlockLen())
+	if c.upLim != nil {
+		// Pace uploads through the token bucket. FIFO: once anything
+		// is queued, later blocks queue behind it even if the bucket
+		// has refilled, so send order never depends on block size.
+		if len(c.upQueue) > 0 {
+			c.upQueue = append(c.upQueue, pendingUpload{pr: pr, m: out, n: n})
+			return
+		}
+		if wait := c.upLim.Take(p.Now(), n); wait > 0 {
+			c.upQueue = append(c.upQueue, pendingUpload{pr: pr, m: out, n: n})
+			c.armUpPump(wait)
+			return
+		}
+	}
 	if pr.send(p, out) == nil {
-		n := int64(out.BlockLen())
 		c.uploaded += n
 		pr.upRate.Add(p.Now(), n)
 	}
+}
+
+// pendingUpload is one rate-limited piece message awaiting tokens.
+type pendingUpload struct {
+	pr *peer
+	m  Msg
+	n  int64
+}
+
+// armUpPump schedules an evUpPump wake-up after the given virtual
+// delay (at most one timer outstanding).
+func (c *Client) armUpPump(wait time.Duration) {
+	if c.upPumpArmed {
+		return
+	}
+	c.upPumpArmed = true
+	c.h.Network().Kernel().After(wait, func() {
+		c.events.TrySend(event{kind: evUpPump})
+	})
+}
+
+// onUpPump drains the upload queue as far as the refilled token
+// bucket allows, re-arming for the remainder.
+func (c *Client) onUpPump(p *sim.Proc) {
+	c.upPumpArmed = false
+	now := p.Now()
+	i := 0
+	for ; i < len(c.upQueue); i++ {
+		e := c.upQueue[i]
+		if e.pr.closed || e.pr.amChoking {
+			continue // peer departed or was choked while queued
+		}
+		if wait := c.upLim.Take(now, e.n); wait > 0 {
+			c.armUpPump(wait)
+			break
+		}
+		if e.pr.send(p, e.m) == nil {
+			c.uploaded += e.n
+			e.pr.upRate.Add(now, e.n)
+		}
+	}
+	c.upQueue = append(c.upQueue[:0], c.upQueue[i:]...)
+}
+
+// onFillWake resumes request issue after the download bucket
+// refilled, in peer-list order (the same order onTick uses).
+func (c *Client) onFillWake(p *sim.Proc) {
+	c.fillWakeArmed = false
+	for _, pr := range c.peers {
+		if !pr.peerChoking && pr.amInterested && !pr.closed {
+			c.fillRequests(p, pr)
+		}
+	}
+}
+
+// armFillWake schedules an evFillWake wake-up after the given virtual
+// delay (at most one timer outstanding).
+func (c *Client) armFillWake(wait time.Duration) {
+	if c.fillWakeArmed {
+		return
+	}
+	c.fillWakeArmed = true
+	c.h.Network().Kernel().After(wait, func() {
+		c.events.TrySend(event{kind: evFillWake})
+	})
 }
 
 // onBlock ingests a downloaded block.
@@ -657,7 +912,9 @@ func (c *Client) onPieceDone(p *sim.Proc, piece int) {
 		if pr.bits.Has(piece) {
 			pr.useful--
 		}
-		pr.send(p, Msg{ID: MsgHave, Index: piece})
+		if !pr.webseed {
+			pr.send(p, Msg{ID: MsgHave, Index: piece})
+		}
 		// Cancel endgame duplicates for this piece, in block order: the
 		// cancels are wire messages, so their send order must not
 		// depend on map iteration order. Packed keys of one piece sort
@@ -694,7 +951,7 @@ func (c *Client) onPieceDone(p *sim.Proc, piece int) {
 // onPeers dials tracker-provided peers we are not yet connected to.
 func (c *Client) onPeers(p *sim.Proc, eps []ip.Endpoint) {
 	for _, ep := range eps {
-		if len(c.peers)+c.dialing >= c.cfg.MaxInitiate {
+		if len(c.peers)-c.wsConns+c.dialing >= c.cfg.MaxInitiate {
 			return
 		}
 		if ep.Addr == c.h.Addr() || c.byAddr[ep.Addr] != nil {
@@ -730,9 +987,27 @@ func (c *Client) onTick(p *sim.Proc) {
 		c.rechoke(p)
 	}
 	// Re-announce when starved for peers.
-	if !c.done && len(c.peers) < c.cfg.MinPeers &&
+	if !c.done && len(c.peers)-c.wsConns < c.cfg.MinPeers &&
 		now.Sub(c.lastAnnounce) >= c.cfg.ReannounceMin {
 		c.announceAsync(p, EventEmpty)
+		return
+	}
+	// Honor the tracker's announce interval: periodic re-announces keep
+	// the registration alive (the tracker expires peers that miss ~2
+	// intervals) and pick up swarm changes even when the peer set is
+	// healthy. Before this path existed the interval was parsed off the
+	// wire and dropped, and a client with MinPeers satisfied never
+	// announced again. Completed clients keep the historical behavior —
+	// announce on complete/stop only — so a seeder's trace does not
+	// change with this fix.
+	if !c.done {
+		ivl := c.announceIvl
+		if ivl <= 0 {
+			ivl = DefaultAnnounceInterval
+		}
+		if now.Sub(c.lastAnnounce) >= ivl {
+			c.announceAsync(p, EventEmpty)
+		}
 	}
 }
 
@@ -869,10 +1144,22 @@ func (c *Client) fillRequests(p *sim.Proc, pr *peer) {
 		return
 	}
 	now := p.Now()
-	for len(pr.inflight) < c.cfg.PipelineDepth {
+	for len(pr.inflight) < c.depth {
 		piece, begin, length := c.nextBlock(pr)
 		if piece < 0 {
 			return
+		}
+		if c.downLim != nil {
+			// Gate request issue on the download bucket: the cap is on
+			// requested bytes per virtual second, which converges to
+			// received bytes per second once the pipeline drains. The
+			// picked block is not yet marked outstanding, so it is
+			// re-offered (same piece, same block) when the bucket wakes
+			// us — selection stays deterministic.
+			if wait := c.downLim.Take(now, int64(length)); wait > 0 {
+				c.armFillWake(wait)
+				return
+			}
 		}
 		bk := blockKey{piece, begin}.pack()
 		pr.inflightAdd(bk, now)

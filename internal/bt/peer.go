@@ -66,6 +66,10 @@ type peer struct {
 
 	optimistic bool
 	closed     bool
+	// webseed marks a pseudo-peer backed by a WebSeed block server: full
+	// bitfield by construction, never choking, outside the swarm
+	// connection budgets, and no interest/Have/choke wire traffic.
+	webseed bool
 }
 
 func newPeer(conn *vnet.Conn, addr ip.Addr, numPieces int, initiated bool) *peer {

@@ -1,0 +1,79 @@
+package bt
+
+import (
+	"time"
+
+	"repro/internal/sim"
+)
+
+// TokenBucket is a deterministic virtual-time rate limiter: a classic
+// token bucket whose clock is the simulation kernel's, not the wall's.
+// Real clients wrap golang.org/x/time/rate; that limiter reads
+// time.Now and sleeps OS threads, both of which would make a run's
+// trace depend on host scheduling. Here the bucket is advanced lazily
+// from the kernel instants the caller passes in, all arithmetic is
+// integer nanoseconds, and the "wait" it returns is a virtual-time
+// delay the client turns into a kernel timer — so two runs with the
+// same seed meter traffic identically, byte for byte.
+//
+// A bucket is owned by one client event loop and needs no locking
+// (one kernel serializes all execution).
+type TokenBucket struct {
+	rate  int64 // tokens (bytes) per second
+	burst int64 // bucket capacity in bytes
+
+	tokens int64    // current fill, in bytes
+	last   sim.Time // instant of the last advance
+}
+
+// NewTokenBucket returns a bucket replenishing rate bytes/second with
+// the given capacity, created full. A rate <= 0 returns nil — the
+// "unlimited" limiter callers test with == nil. The burst is clamped
+// to at least one maximum-length wire block (128 KiB) so a single
+// block request can always eventually be admitted.
+func NewTokenBucket(rate, burst int64) *TokenBucket {
+	if rate <= 0 {
+		return nil
+	}
+	const minBurst = 128 * 1024
+	if burst < minBurst {
+		burst = minBurst
+	}
+	return &TokenBucket{rate: rate, burst: burst, tokens: burst}
+}
+
+// advance replenishes the bucket for the virtual time elapsed since
+// the last advance.
+func (tb *TokenBucket) advance(now sim.Time) {
+	if now <= tb.last {
+		return
+	}
+	elapsed := int64(now.Sub(tb.last))
+	tb.last = now
+	// rate bytes per 1e9 ns; split the multiply to stay in int64 for
+	// any plausible (elapsed, rate) pair.
+	tb.tokens += elapsed / int64(time.Second) * tb.rate
+	tb.tokens += elapsed % int64(time.Second) * tb.rate / int64(time.Second)
+	if tb.tokens > tb.burst {
+		tb.tokens = tb.burst
+	}
+}
+
+// Take requests n bytes at virtual instant now. It returns 0 and
+// debits the bucket when the bytes are admitted; otherwise it returns
+// the exact virtual-time wait until n tokens will be available (the
+// bucket is left untouched, so the caller retries after the wait).
+func (tb *TokenBucket) Take(now sim.Time, n int64) time.Duration {
+	tb.advance(now)
+	if n > tb.burst {
+		n = tb.burst // oversized requests drain a full bucket
+	}
+	if tb.tokens >= n {
+		tb.tokens -= n
+		return 0
+	}
+	deficit := n - tb.tokens
+	// ceil(deficit * 1e9 / rate) nanoseconds until the bucket holds n.
+	wait := (deficit*int64(time.Second) + tb.rate - 1) / tb.rate
+	return time.Duration(wait)
+}

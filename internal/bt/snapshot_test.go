@@ -1,0 +1,289 @@
+package bt
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/ip"
+	"repro/internal/netem"
+	"repro/internal/sim"
+	"repro/internal/topo"
+	"repro/internal/vnet"
+)
+
+// longFat is a high-bandwidth high-latency path: the regime where a
+// fixed 5-deep request pipeline (80 KiB in flight) caps throughput at
+// 80 KiB/RTT regardless of link capacity.
+var longFat = topo.LinkClass{Name: "longfat", Down: 100 * netem.Mbps, Up: 100 * netem.Mbps, Latency: 50 * time.Millisecond}
+
+func TestTokenBucketNilWhenUnlimited(t *testing.T) {
+	if NewTokenBucket(0, 1<<20) != nil {
+		t.Fatal("rate 0 should mean unlimited (nil bucket)")
+	}
+	if NewTokenBucket(-5, 0) != nil {
+		t.Fatal("negative rate should mean unlimited (nil bucket)")
+	}
+}
+
+func TestTokenBucketBurstClamp(t *testing.T) {
+	// A burst below one max wire block is clamped up, so a full-size
+	// block request can always eventually be admitted.
+	tb := NewTokenBucket(1024, 1)
+	if got := tb.Take(sim.Time(0), 128*1024); got != 0 {
+		t.Fatalf("full clamped bucket refused a 128 KiB block: wait %v", got)
+	}
+}
+
+func TestTokenBucketTakeAndRefill(t *testing.T) {
+	t0 := sim.Time(0)
+	tb := NewTokenBucket(1024, 128*1024) // 1 KiB/s, 128 KiB burst
+	if w := tb.Take(t0, 128*1024); w != 0 {
+		t.Fatalf("bucket created full, got wait %v", w)
+	}
+	// Empty now: 1024 bytes at 1024 B/s is exactly one virtual second,
+	// and the failed Take must not debit.
+	w := tb.Take(t0, 1024)
+	if w != time.Second {
+		t.Fatalf("wait = %v, want exactly 1s", w)
+	}
+	if got := tb.Take(t0.Add(w), 1024); got != 0 {
+		t.Fatalf("bucket not refilled after its own predicted wait: %v", got)
+	}
+	// Drained again; half a block costs half the time.
+	if w := tb.Take(t0.Add(time.Second), 512); w != 500*time.Millisecond {
+		t.Fatalf("wait = %v, want 500ms", w)
+	}
+}
+
+// TestClientHonorsAnnounceInterval pins the interval-driven re-announce
+// path: a client whose peer set is healthy (MinPeers disabled) must
+// still re-announce on the tracker's advertised interval. The old
+// client parsed only "peers" out of the response and announced again
+// only when starved, so a tracker's interval was dead configuration.
+func TestClientHonorsAnnounceInterval(t *testing.T) {
+	k, _, trk, hosts := swarmEnv(t, 5, 1, fastClass)
+	tracker := NewTrackerConfig(trk, TrackerConfig{Interval: 30 * time.Second})
+	meta, err := SyntheticTorrent("t", 512*1024, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trkEP := ip.Endpoint{Addr: trk.Addr(), Port: TrackerPort}
+	cfg := DefaultClientConfig()
+	cfg.MinPeers = 0 // disable the starvation re-announce path entirely
+	c := NewClient(hosts[0], meta, NewSparseStorage(meta), trkEP, cfg)
+	c.Start()
+	k.Go("watchdog", func(p *sim.Proc) {
+		p.Sleep(150 * time.Second)
+		k.Stop()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if c.announceIvl != 30*time.Second {
+		t.Fatalf("client recorded interval %v, want 30s", c.announceIvl)
+	}
+	// t=0 started + periodic at 30/60/90/120 (tick-quantized).
+	if got := tracker.Stats().Announces; got < 4 {
+		t.Fatalf("announces in 150s at a 30s interval = %d, want >= 4", got)
+	}
+}
+
+// TestTrackerExpiresSilentPeers pins churn-storm-style expiry: a peer
+// that vanishes without EventStopped must stop being handed out after
+// ~2 missed intervals. The old tracker kept dead endpoints forever,
+// burning every other peer's dial budget on guaranteed-failed dials.
+func TestTrackerExpiresSilentPeers(t *testing.T) {
+	k, _, trk, hosts := swarmEnv(t, 9, 2, fastClass)
+	tracker := NewTrackerConfig(trk, TrackerConfig{Interval: 20 * time.Second}) // ttl 40s
+	meta, err := SyntheticTorrent("t", 512*1024, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trkEP := ip.Endpoint{Addr: trk.Addr(), Port: TrackerPort}
+	k.Go("seq", func(p *sim.Proc) {
+		// A registers, then goes silent (a crash, not a Stop).
+		if _, _, err := AnnounceRequest(p, hosts[0], trkEP, meta.InfoHash(), 6881, EventStarted, meta.Length, 50); err != nil {
+			t.Errorf("announce A: %v", err)
+		}
+		first, _, err := AnnounceRequest(p, hosts[1], trkEP, meta.InfoHash(), 6881, EventStarted, meta.Length, 50)
+		if err != nil {
+			t.Errorf("announce B: %v", err)
+		}
+		if len(first) != 1 {
+			t.Errorf("B's first announce saw %d peers, want 1 (A alive)", len(first))
+		}
+		// B keeps announcing on schedule; A stays silent past 2 intervals.
+		var last []ip.Endpoint
+		for i := 0; i < 3; i++ {
+			p.Sleep(20 * time.Second)
+			last, _, err = AnnounceRequest(p, hosts[1], trkEP, meta.InfoHash(), 6881, EventEmpty, meta.Length, 50)
+			if err != nil {
+				t.Errorf("re-announce B: %v", err)
+			}
+		}
+		if len(last) != 0 {
+			t.Errorf("vanished peer still handed out after expiry: %v", last)
+		}
+		k.Stop()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tracker.PeerCount(meta.InfoHash()); got != 1 {
+		t.Fatalf("registered peers after expiry = %d, want 1 (the live announcer)", got)
+	}
+}
+
+// TestWebSeedColdFill is the CDN-fill scenario in miniature: no seeders
+// at all, one web seed, one client. The client must complete entirely
+// from the web seed.
+func TestWebSeedColdFill(t *testing.T) {
+	k, _, trk, hosts := swarmEnv(t, 11, 2, fastClass)
+	NewTracker(trk)
+	const fileSize = 4 << 20
+	meta, err := SyntheticTorrent("snap", fileSize, 2<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := NewWebSeed(hosts[0], meta, NewSeededSparseStorage(meta))
+	trkEP := ip.Endpoint{Addr: trk.Addr(), Port: TrackerPort}
+	cfg := DefaultClientConfig()
+	cfg.WebSeeds = []ip.Endpoint{ws.Endpoint()}
+	c := NewClient(hosts[1], meta, NewSparseStorage(meta), trkEP, cfg)
+	c.OnComplete = func(*Client, sim.Time) { k.Stop() }
+	c.Start()
+	k.Go("watchdog", func(p *sim.Proc) {
+		p.Sleep(10 * time.Minute)
+		k.Stop()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Done() {
+		t.Fatal("client did not complete from the web seed alone")
+	}
+	if got := ws.Stats().BytesServed; got < fileSize {
+		t.Fatalf("web seed served %d bytes, want >= %d", got, fileSize)
+	}
+	if c.wsConns != 1 || len(c.peers) != 1 || !c.peers[0].webseed {
+		t.Fatalf("expected exactly one web-seed pseudo-peer, got wsConns=%d peers=%d", c.wsConns, len(c.peers))
+	}
+}
+
+func TestBuildSwarmRejectsHugeNonSparse(t *testing.T) {
+	_, _, trk, _ := swarmEnv(t, 1, 0, fastClass)
+	spec := DefaultSwarmSpec()
+	spec.Sparse = false
+	spec.FileSize = MaxMaterializedBytes + 1
+	if _, err := BuildSwarm(spec, trk, nil, nil); err == nil {
+		t.Fatal("non-sparse build above MaxMaterializedBytes must error")
+	} else if !strings.Contains(err.Error(), "non-sparse") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+}
+
+func TestSparseWriteBlockRejectsMisaligned(t *testing.T) {
+	meta, err := SyntheticTorrent("t", 512*1024, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSparseStorage(meta)
+	if err := s.WriteBlock(0, BlockLength/2, nil, BlockLength); err == nil {
+		t.Fatal("misaligned begin must be rejected, not folded into the wrong block bit")
+	}
+	if err := s.WriteBlock(0, BlockLength, nil, BlockLength); err != nil {
+		t.Fatalf("aligned begin rejected: %v", err)
+	}
+}
+
+// transferTime runs a 1-seeder/1-leecher swarm under the given link
+// model and returns the leecher's completion instant.
+func transferTime(t *testing.T, seed int64, model netem.ModelKind, class topo.LinkClass,
+	cfg ClientConfig, fileSize int64, pieceLen int, horizon time.Duration) time.Duration {
+	t.Helper()
+	k := sim.New(seed)
+	ncfg := vnet.DefaultConfig()
+	ncfg.Model = model
+	net := vnet.NewNetwork(k, nil, ncfg)
+	trk, err := net.AddHostClass(ip.MustParseAddr("10.200.0.1"), topo.LAN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hosts []*vnet.Host
+	base := ip.MustParseAddr("10.0.0.1")
+	for i := 0; i < 2; i++ {
+		h, err := net.AddHostClass(base.Add(uint32(i)), class)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hosts = append(hosts, h)
+	}
+	spec := SwarmSpec{FileName: "snap", FileSize: fileSize, PieceLength: pieceLen, Sparse: true, Client: cfg}
+	s, err := BuildSwarm(spec, trk, hosts[:1], hosts[1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start(0)
+	var done bool
+	k.Go("waiter", func(p *sim.Proc) {
+		done = s.WaitAll(p, horizon)
+		k.Stop()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatalf("transfer did not complete within %v", horizon)
+	}
+	return time.Duration(s.Clients[0].FinishedAt())
+}
+
+// TestPipelineDepthAutoScaleLongFat is the elephant-flow property test
+// at 2 MiB pieces, under both link models: on a long fat pipe the
+// auto-scaled pipeline (PipelineDepth 0 → blocks-per-piece) must beat
+// the fixed mainline depth of 5 by a wide margin, because 80 KiB in
+// flight caps a 100 Mbps/100 ms-RTT path at ~800 KiB/s. Also exercises
+// the multi-word block bitmaps on the real download path (128 blocks
+// per piece).
+func TestPipelineDepthAutoScaleLongFat(t *testing.T) {
+	const fileSize = 8 << 20
+	const pieceLen = 2 << 20
+	for _, model := range []netem.ModelKind{netem.ModelPipe, netem.ModelFlow} {
+		fixed := DefaultClientConfig()
+		fixed.RechokeInterval = time.Second // keep the unchoke delay out of the ratio
+		auto := fixed
+		auto.PipelineDepth = 0 // auto-scale to blocks-per-piece
+
+		tFixed := transferTime(t, 21, model, longFat, fixed, fileSize, pieceLen, 30*time.Minute)
+		tAuto := transferTime(t, 21, model, longFat, auto, fileSize, pieceLen, 30*time.Minute)
+		if 2*tAuto > tFixed {
+			t.Fatalf("model %v: auto depth %v not ≥2x faster than fixed depth %v", model, tAuto, tFixed)
+		}
+	}
+}
+
+// TestRateLimitedTransferDeterministic pins two properties of the
+// token-bucket path: the cap actually bounds throughput (a capped run
+// is slower than an uncapped one by at least the metered difference),
+// and a rate-limited run is bit-deterministic — two identical runs
+// finish at the identical virtual instant.
+func TestRateLimitedTransferDeterministic(t *testing.T) {
+	const fileSize = 1 << 20
+	cfg := DefaultClientConfig()
+	cfg.RechokeInterval = time.Second
+	capped := cfg
+	capped.UploadRate = 256 * 1024 // seeder-side cap: 256 KiB/s
+	capped.RateBurst = 128 * 1024
+
+	tFree := transferTime(t, 31, netem.ModelPipe, fastClass, cfg, fileSize, 0, 10*time.Minute)
+	tCap1 := transferTime(t, 31, netem.ModelPipe, fastClass, capped, fileSize, 0, 10*time.Minute)
+	tCap2 := transferTime(t, 31, netem.ModelPipe, fastClass, capped, fileSize, 0, 10*time.Minute)
+	if tCap1 != tCap2 {
+		t.Fatalf("rate-limited run not deterministic: %v vs %v", tCap1, tCap2)
+	}
+	// 1 MiB minus the 128 KiB burst at 256 KiB/s is 3.5 s of metering.
+	if tCap1 < tFree+2500*time.Millisecond {
+		t.Fatalf("upload cap not enforced: capped %v vs uncapped %v", tCap1, tFree)
+	}
+}

@@ -170,6 +170,12 @@ func (s *SparseStorage) WriteBlock(piece, begin int, data []byte, sparseLen int)
 	if piece < 0 || piece >= s.meta.NumPieces() {
 		return fmt.Errorf("bt: piece %d out of range", piece)
 	}
+	if begin%BlockLength != 0 {
+		// Integer division below would silently fold a misaligned offset
+		// into the wrong block bit, marking a block received that never
+		// arrived.
+		return fmt.Errorf("bt: block offset %d in piece %d not aligned to %d", begin, piece, BlockLength)
+	}
 	b := begin / BlockLength
 	if b < 0 || b >= s.meta.BlocksIn(piece) {
 		return fmt.Errorf("bt: block offset %d out of piece %d", begin, piece)

@@ -37,7 +37,15 @@ type SwarmSpec struct {
 	Sparse bool
 	// Client configures all clients and seeders.
 	Client ClientConfig
+	// Tracker configures the tracker (zero value: defaults).
+	Tracker TrackerConfig
 }
+
+// MaxMaterializedBytes bounds non-sparse swarm builds. A Sparse: false
+// spec materializes the full file once as the master copy plus once per
+// seeder (real bytes, SHA-1 hashed) — a snapshot-sized spec quietly
+// allocating gigabytes is a misconfiguration, not a workload.
+const MaxMaterializedBytes = 64 << 20
 
 // DefaultSwarmSpec mirrors the paper's first experiment: a 16 MB file.
 func DefaultSwarmSpec() SwarmSpec {
@@ -59,6 +67,10 @@ func BuildSwarm(spec SwarmSpec, trackerHost *vnet.Host, seedHosts, clientHosts [
 	if spec.Sparse {
 		meta, err = SyntheticTorrent(spec.FileName, spec.FileSize, spec.PieceLength)
 	} else {
+		if spec.FileSize > MaxMaterializedBytes {
+			return nil, fmt.Errorf("bt: non-sparse swarm of %d bytes exceeds %d (MaxMaterializedBytes); use Sparse: true for large files",
+				spec.FileSize, int64(MaxMaterializedBytes))
+		}
 		seedData = make([]byte, spec.FileSize)
 		rnd := rand.New(rand.NewSource(42))
 		rnd.Read(seedData)
@@ -70,7 +82,7 @@ func BuildSwarm(spec SwarmSpec, trackerHost *vnet.Host, seedHosts, clientHosts [
 	k := trackerHost.Network().Kernel()
 	s := &Swarm{
 		Meta:        meta,
-		Tracker:     NewTracker(trackerHost),
+		Tracker:     NewTrackerConfig(trackerHost, spec.Tracker),
 		TrackerHost: trackerHost,
 		allDone:     sim.NewCond(k),
 	}

@@ -44,7 +44,7 @@ func TestTrackerAnnounceAndPeerList(t *testing.T) {
 	var got [][]ip.Endpoint
 	k.Go("announcers", func(p *sim.Proc) {
 		for _, h := range hosts {
-			peers, err := AnnounceRequest(p, h, trkEP, m.InfoHash(), 6881, EventStarted, m.Length, 50)
+			peers, _, err := AnnounceRequest(p, h, trkEP, m.InfoHash(), 6881, EventStarted, m.Length, 50)
 			if err != nil {
 				t.Errorf("announce: %v", err)
 				return

@@ -31,6 +31,31 @@ const (
 	EventEmpty     = ""
 )
 
+// DefaultAnnounceInterval is the re-announce interval a tracker hands
+// out unless configured otherwise (mainline trackers: 30 min).
+const DefaultAnnounceInterval = 30 * time.Minute
+
+// TrackerConfig tunes a tracker's announce lifecycle. The zero value
+// means defaults, so struct-literal construction in tests keeps
+// working.
+type TrackerConfig struct {
+	// Interval is the re-announce interval handed to clients in every
+	// announce response (0: DefaultAnnounceInterval).
+	Interval time.Duration
+	// ExpireAfter is how many announce intervals a registered peer may
+	// stay silent before it is pruned (0: 2). Peers that depart
+	// gracefully announce EventStopped and leave immediately; expiry
+	// is for the ones that vanish — crashed processes, partitioned
+	// hosts — whose stale endpoints would otherwise be handed out
+	// forever, burning other peers' dial budgets on dead addresses.
+	ExpireAfter int
+}
+
+// DefaultTrackerConfig returns the standard announce lifecycle.
+func DefaultTrackerConfig() TrackerConfig {
+	return TrackerConfig{Interval: DefaultAnnounceInterval, ExpireAfter: 2}
+}
+
 // TrackerStats counts tracker activity.
 type TrackerStats struct {
 	Announces int
@@ -46,6 +71,7 @@ type TrackerStats struct {
 // substitution).
 type Tracker struct {
 	host   *vnet.Host
+	cfg    TrackerConfig
 	swarms map[[20]byte]*swarmPeers
 	stats  TrackerStats
 
@@ -63,14 +89,43 @@ type swarmPeers struct {
 type trackerPeer struct {
 	ep       ip.Endpoint
 	complete bool
+	// lastSeen is the virtual instant of the peer's latest announce;
+	// expiry prunes peers silent for ExpireAfter intervals. Virtual
+	// time, never wall time: expiry decisions are trace-visible (they
+	// change which endpoints later announces hand out), so they must
+	// be a pure function of the simulation's own clock.
+	lastSeen sim.Time
 }
 
-// NewTracker creates a tracker on the given host and starts its accept
-// loop on TrackerPort.
+// NewTracker creates a tracker with the default announce lifecycle on
+// the given host and starts its accept loop on TrackerPort.
 func NewTracker(host *vnet.Host) *Tracker {
-	t := &Tracker{host: host, swarms: make(map[[20]byte]*swarmPeers)}
+	return NewTrackerConfig(host, TrackerConfig{})
+}
+
+// NewTrackerConfig is NewTracker with an explicit announce lifecycle
+// (zero fields take defaults).
+func NewTrackerConfig(host *vnet.Host, cfg TrackerConfig) *Tracker {
+	t := &Tracker{host: host, cfg: cfg, swarms: make(map[[20]byte]*swarmPeers)}
 	host.Network().Kernel().Go("tracker", t.serve)
 	return t
+}
+
+// interval returns the configured announce interval, defaulted.
+func (t *Tracker) interval() time.Duration {
+	if t.cfg.Interval > 0 {
+		return t.cfg.Interval
+	}
+	return DefaultAnnounceInterval
+}
+
+// expireAfter returns the silence budget before a peer is pruned.
+func (t *Tracker) expireAfter() time.Duration {
+	n := t.cfg.ExpireAfter
+	if n <= 0 {
+		n = 2
+	}
+	return time.Duration(n) * t.interval()
 }
 
 // Stats returns a snapshot of announce counters.
@@ -167,6 +222,11 @@ func (t *Tracker) announce(req []byte, from ip.Addr) ([]byte, error) {
 		sw = &swarmPeers{index: make(map[ip.Endpoint]int)}
 		t.swarms[ih] = sw
 	}
+	now := t.host.Network().Kernel().Now()
+	// Prune peers that vanished without EventStopped before serving
+	// the announce: a returning silent peer re-registers below, and a
+	// fresh peer never sees the dead endpoints.
+	t.expire(sw, now)
 	t.stats.Announces++
 	switch event {
 	case EventStarted, EventEmpty, EventCompleted:
@@ -185,9 +245,10 @@ func (t *Tracker) announce(req []byte, from ip.Addr) ([]byte, error) {
 		}
 		if i, known := sw.index[self]; known {
 			sw.order[i].complete = left == 0 || event == EventCompleted
+			sw.order[i].lastSeen = now
 		} else {
 			sw.index[self] = len(sw.order)
-			sw.order = append(sw.order, trackerPeer{ep: self, complete: left == 0})
+			sw.order = append(sw.order, trackerPeer{ep: self, complete: left == 0, lastSeen: now})
 		}
 	case EventStopped:
 		t.stats.Stopped++
@@ -231,18 +292,44 @@ func (t *Tracker) announce(req []byte, from ip.Addr) ([]byte, error) {
 		})
 	}
 	return Bencode(map[string]any{
-		"interval": int64(1800),
+		"interval": int64(t.interval() / time.Second),
 		"peers":    peers,
 	})
 }
 
+// expire swap-removes every registered peer silent for longer than
+// the expiry budget. Swap-removal perturbs sw.order, but only when a
+// peer actually expires — an expiry-free announce leaves the order,
+// and therefore the response permutation's draw sequence, untouched.
+func (t *Tracker) expire(sw *swarmPeers, now sim.Time) {
+	ttl := t.expireAfter()
+	for i := 0; i < len(sw.order); {
+		if now.Sub(sw.order[i].lastSeen) <= ttl {
+			i++
+			continue
+		}
+		ep := sw.order[i].ep
+		last := len(sw.order) - 1
+		sw.order[i] = sw.order[last]
+		sw.order = sw.order[:last]
+		delete(sw.index, ep)
+		if i < last {
+			sw.index[sw.order[i].ep] = i
+		}
+		// Re-examine the swapped-in entry now at i.
+	}
+}
+
 // AnnounceRequest is the client-side helper: it dials the tracker,
-// sends an announce and parses the peer list.
+// sends an announce and parses the peer list and the tracker's
+// re-announce interval (0 when the response carries none). Earlier
+// versions read only "peers" and dropped the interval on the floor,
+// so clients could never honor the tracker's announce schedule.
 func AnnounceRequest(p *sim.Proc, h *vnet.Host, tracker ip.Endpoint, infoHash [20]byte,
-	port ip.Port, event string, left int64, numWant int) ([]ip.Endpoint, error) {
+	port ip.Port, event string, left int64, numWant int) ([]ip.Endpoint, time.Duration, error) {
 	c, err := h.Dial(p, tracker)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	defer c.Close(p)
 	req, err := Bencode(map[string]any{
@@ -254,28 +341,32 @@ func AnnounceRequest(p *sim.Proc, h *vnet.Host, tracker ip.Endpoint, infoHash [2
 		"numwant":   int64(numWant),
 	})
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if err := c.Send(p, req); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	pk, ok, err := c.RecvTimeout(p, 30*time.Second)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if !ok {
-		return nil, vnet.ErrTimeout
+		return nil, 0, vnet.ErrTimeout
 	}
 	v, err := Bdecode(pk.Data)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	dict, okd := v.(map[string]any)
 	if !okd {
-		return nil, errors.New("bt: tracker response is not a dict")
+		return nil, 0, errors.New("bt: tracker response is not a dict")
 	}
 	if f, bad := dict["failure reason"].([]byte); bad {
-		return nil, fmt.Errorf("bt: tracker failure: %s", f)
+		return nil, 0, fmt.Errorf("bt: tracker failure: %s", f)
+	}
+	var interval time.Duration
+	if sec, okI := dict["interval"].(int64); okI && sec > 0 {
+		interval = time.Duration(sec) * time.Second
 	}
 	rawPeers, _ := dict["peers"].([]any)
 	var peers []ip.Endpoint
@@ -292,5 +383,5 @@ func AnnounceRequest(p *sim.Proc, h *vnet.Host, tracker ip.Endpoint, infoHash [2
 		}
 		peers = append(peers, ip.Endpoint{Addr: a, Port: ip.Port(portN)})
 	}
-	return peers, nil
+	return peers, interval, nil
 }

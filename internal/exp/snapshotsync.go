@@ -1,0 +1,171 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bt"
+	"repro/internal/ip"
+	"repro/internal/netem"
+	"repro/internal/sim"
+	"repro/internal/topo"
+	"repro/internal/vnet"
+)
+
+// SnapshotSyncParams configures the snapshot-sync experiment: the
+// inverse of the paper's many-small-peers swarms. A handful of peers
+// pull one huge file in large pieces over few connections, with
+// asymmetric token-bucket rate caps and web seeds as the fallback
+// source — the regime of Erigon's snapshot downloader (hundreds of GB,
+// 2 MiB pieces, ~5 conns per torrent, webseed CDN behind the swarm).
+type SnapshotSyncParams struct {
+	Clients  int
+	Seeders  int
+	WebSeeds int // always-available block servers on LAN edge hosts
+	FileSize int64
+	// PieceLength defaults to 2 MiB (Erigon's snapshot piece size).
+	PieceLength int
+	// ConnCap bounds MaxPeers and MaxInitiate (default 5, the
+	// conns-per-torrent of the snapshot downloader).
+	ConnCap int
+	// UpRate / DownRate cap each client's payload rates in bytes/second
+	// via deterministic virtual-time token buckets (0: unlimited).
+	UpRate   int64
+	DownRate int64
+
+	StartInterval time.Duration
+	Class         topo.LinkClass
+	Model         netem.ModelKind
+	Window        time.Duration // flow-model batch window
+	Seed          int64
+	Horizon       time.Duration
+}
+
+// DefaultSnapshotSyncParams is a scaled-down snapshot pull: 4 clients,
+// 1 seeder and 1 web seed moving a 16 MiB file in 2 MiB pieces over 5
+// connections each.
+func DefaultSnapshotSyncParams() SnapshotSyncParams {
+	return SnapshotSyncParams{
+		Clients:       4,
+		Seeders:       1,
+		WebSeeds:      1,
+		FileSize:      16 << 20,
+		PieceLength:   2 << 20,
+		ConnCap:       5,
+		StartInterval: time.Second,
+		Class:         topo.FastDSL,
+		Seed:          1,
+		Horizon:       2 * time.Hour,
+	}
+}
+
+// SnapshotSyncOutcome is the measured result of one snapshot-sync run.
+type SnapshotSyncOutcome struct {
+	Params       SnapshotSyncParams
+	Meta         *bt.MetaInfo
+	Completions  []sim.Time // per client; zero = unfinished
+	WebSeedBytes uint64     // payload served by all web seeds
+	AllDone      bool
+	EndedAt      sim.Time
+	Kernel       sim.Stats
+	Net          vnet.NetworkStats
+}
+
+// RunSnapshotSync executes one snapshot-sync experiment to completion
+// (or horizon).
+func RunSnapshotSync(sp SnapshotSyncParams) (*SnapshotSyncOutcome, error) {
+	if sp.Clients < 1 {
+		return nil, fmt.Errorf("exp: snapshot-sync needs at least 1 client")
+	}
+	if sp.Seeders < 1 && sp.WebSeeds < 1 {
+		return nil, fmt.Errorf("exp: snapshot-sync needs a seeder or a web seed")
+	}
+	pieceLen := sp.PieceLength
+	if pieceLen <= 0 {
+		pieceLen = 2 << 20
+	}
+	connCap := sp.ConnCap
+	if connCap <= 0 {
+		connCap = 5
+	}
+
+	k := sim.New(sp.Seed)
+	ncfg := vnet.DefaultConfig()
+	ncfg.Model = sp.Model
+	ncfg.FlowWindow = sp.Window
+	net := vnet.NewNetwork(k, nil, ncfg)
+
+	trackerHost, err := net.AddHostClass(ip.MustParseAddr("10.250.0.1"), topo.LAN)
+	if err != nil {
+		return nil, err
+	}
+	// Web seeds live on LAN-class edge hosts: the CDN side of the path
+	// is fat, the bottleneck is the client's access link (and its rate
+	// caps), as in the production deployment.
+	var wsHosts []*vnet.Host
+	wsBase := ip.MustParseAddr("10.251.0.1")
+	for i := 0; i < sp.WebSeeds; i++ {
+		h, err := net.AddHostClass(wsBase.Add(uint32(i)), topo.LAN)
+		if err != nil {
+			return nil, err
+		}
+		wsHosts = append(wsHosts, h)
+	}
+	var wsEndpoints []ip.Endpoint
+	for _, h := range wsHosts {
+		wsEndpoints = append(wsEndpoints, ip.Endpoint{Addr: h.Addr(), Port: bt.WebSeedPort})
+	}
+	var nodeHosts []*vnet.Host
+	base := ip.MustParseAddr("10.0.0.1")
+	for i := 0; i < sp.Seeders+sp.Clients; i++ {
+		h, err := net.AddHostClass(base.Add(uint32(i)), sp.Class)
+		if err != nil {
+			return nil, err
+		}
+		nodeHosts = append(nodeHosts, h)
+		h.SetBindEnv(h.Addr())
+	}
+
+	cfg := bt.DefaultClientConfig()
+	cfg.MaxPeers = connCap
+	cfg.MaxInitiate = connCap
+	cfg.MinPeers = connCap // below this the starvation re-announce kicks in
+	cfg.PipelineDepth = 0  // auto-scale to blocks-per-piece
+	cfg.UploadRate = sp.UpRate
+	cfg.DownloadRate = sp.DownRate
+	cfg.WebSeeds = wsEndpoints
+
+	spec := bt.SwarmSpec{
+		FileName:    "snapshot",
+		FileSize:    sp.FileSize,
+		PieceLength: pieceLen,
+		Sparse:      true,
+		Client:      cfg,
+	}
+	swarm, err := bt.BuildSwarm(spec, trackerHost, nodeHosts[:sp.Seeders], nodeHosts[sp.Seeders:])
+	if err != nil {
+		return nil, err
+	}
+	var webseeds []*bt.WebSeed
+	for _, h := range wsHosts {
+		webseeds = append(webseeds, bt.NewWebSeed(h, swarm.Meta, bt.NewSeededSparseStorage(swarm.Meta)))
+	}
+
+	out := &SnapshotSyncOutcome{Params: sp, Meta: swarm.Meta}
+	swarm.Start(sp.StartInterval)
+	k.Go("snapshot-waiter", func(p *sim.Proc) {
+		out.AllDone = swarm.WaitAll(p, sp.Horizon)
+		k.Stop()
+	})
+	if err := k.Run(); err != nil {
+		return nil, fmt.Errorf("exp: snapshot-sync kernel: %w", err)
+	}
+	out.Completions = swarm.CompletionTimes()
+	for _, ws := range webseeds {
+		out.WebSeedBytes += ws.Stats().BytesServed
+	}
+	out.EndedAt = k.Now()
+	out.Kernel = k.Snapshot()
+	out.Net = net.Stats()
+	return out, nil
+}

@@ -50,10 +50,16 @@ const (
 	// ignores the peers and churn axes and reads the rules and
 	// classifier axes.
 	ExpPing Experiment = "ping"
+	// ExpSnapshotSync is the few-peers/huge-file regime of Erigon's
+	// snapshot downloader: large pieces, capped connections, token-
+	// bucket rate limiters and web seeds. It reads the piece-size,
+	// conn-cap and rate axes on top of peers/class/model/window and
+	// measures completion time.
+	ExpSnapshotSync Experiment = "snapshot-sync"
 )
 
 // Experiments lists the sweepable experiment families.
-var Experiments = []Experiment{ExpSwarm, ExpChurn, ExpDHT, ExpGossip, ExpSched, ExpScenario, ExpPing}
+var Experiments = []Experiment{ExpSwarm, ExpChurn, ExpDHT, ExpGossip, ExpSched, ExpScenario, ExpPing, ExpSnapshotSync}
 
 // Grid is a parameter grid. Cells() expands the cross product of the
 // axes; nil axes get a single experiment-appropriate default, so a
@@ -69,6 +75,9 @@ type Grid struct {
 	Scenarios   []string           // corpus scenario names; scenario experiment only
 	Rules       []int              // firewall rule-table sizes; ping and swarm families
 	Classifiers []netem.Classifier // firewall classifiers (linear, indexed)
+	PieceSizes  []int              // torrent piece lengths in bytes; snapshot-sync only
+	ConnCaps    []int              // per-client connection caps; snapshot-sync only
+	Rates       []int64            // symmetric up/down rate caps in bytes/s (0 = unlimited); snapshot-sync only
 	Seeds       []int64
 
 	// Knobs held constant across the grid.
@@ -90,6 +99,9 @@ type Cell struct {
 	Scenario   string        // scenario experiment only
 	Rules      int           // firewall rule-table size; ping and swarm families
 	Classifier netem.Classifier
+	PieceSize  int   // piece length in bytes; snapshot-sync only
+	ConnCap    int   // per-client connection cap; snapshot-sync only
+	Rate       int64 // symmetric rate cap in bytes/s; snapshot-sync only
 	Seed       int64
 
 	fileSize int
@@ -106,6 +118,10 @@ func (c Cell) String() string {
 	win := ""
 	if c.Window > 0 {
 		win = fmt.Sprintf(" window=%s", c.Window)
+	}
+	if c.Experiment == ExpSnapshotSync {
+		return fmt.Sprintf("%s[peers=%d class=%s model=%s%s piece=%d conncap=%d rate=%d seed=%d]",
+			c.Experiment, c.Peers, c.Class.Name, c.Model, win, c.PieceSize, c.ConnCap, c.Rate, c.Seed)
 	}
 	if c.Experiment == ExpPing || (c.Experiment.usesRulesAxis() && c.Rules > 0) {
 		return fmt.Sprintf("%s[peers=%d churn=%g class=%s model=%s%s rules=%d classifier=%s seed=%d]",
@@ -139,7 +155,14 @@ func (e Experiment) usesRulesAxis() bool { return e == ExpPing || e == ExpSwarm 
 // batch-window axis: the vnet families whose runners take a network
 // config (a scenario spec owns its own flow_window knob; the DHT and
 // gossip models keep their fixed signatures; sched has no network).
-func (e Experiment) usesWindowAxis() bool { return e == ExpSwarm || e == ExpChurn || e == ExpPing }
+func (e Experiment) usesWindowAxis() bool {
+	return e == ExpSwarm || e == ExpChurn || e == ExpPing || e == ExpSnapshotSync
+}
+
+// usesSnapshotAxes reports whether the experiment reads the
+// piece-size, conn-cap and rate axes (the snapshot-sync workload
+// knobs; everything else has fixed piece geometry and no limiter).
+func (e Experiment) usesSnapshotAxes() bool { return e == ExpSnapshotSync }
 
 // Cells expands the grid into its cells, in row-major grid order
 // (peers, then churn, then class, then model, then scenario, then
@@ -226,6 +249,55 @@ func (g Grid) Cells() ([]Cell, error) {
 	classifiers := g.Classifiers
 	if len(classifiers) == 0 {
 		classifiers = []netem.Classifier{netem.ClassifierLinear}
+	}
+
+	pieceSizes := g.PieceSizes
+	connCaps := g.ConnCaps
+	rates := g.Rates
+	if exp.usesSnapshotAxes() {
+		if len(pieceSizes) == 0 {
+			pieceSizes = []int{2 << 20}
+		}
+		if len(connCaps) == 0 {
+			connCaps = []int{5}
+		}
+		if len(rates) == 0 {
+			rates = []int64{0}
+		}
+		if err := distinctInts("piece-size", pieceSizes); err != nil {
+			return nil, err
+		}
+		for _, ps := range pieceSizes {
+			if ps <= 0 {
+				return nil, fmt.Errorf("exp: non-positive piece size %d", ps)
+			}
+		}
+		if err := distinctInts("conn-cap", connCaps); err != nil {
+			return nil, err
+		}
+		for _, cc := range connCaps {
+			if cc <= 0 {
+				return nil, fmt.Errorf("exp: non-positive conn cap %d", cc)
+			}
+		}
+		seenRate := map[int64]bool{}
+		for _, r := range rates {
+			if r < 0 {
+				return nil, fmt.Errorf("exp: negative rate cap %d", r)
+			}
+			if seenRate[r] {
+				return nil, fmt.Errorf("exp: duplicate rate axis value %d", r)
+			}
+			seenRate[r] = true
+		}
+	} else {
+		if len(g.PieceSizes) > 0 || len(g.ConnCaps) > 0 || len(g.Rates) > 0 {
+			// Even a single explicit value is rejected: these axes select
+			// the snapshot workload's knobs, and silently dropping them
+			// would misrepresent every cell of the sweep.
+			return nil, fmt.Errorf("exp: %s ignores the piece-size, conn-cap and rate axes", exp)
+		}
+		pieceSizes, connCaps, rates = []int{0}, []int{0}, []int64{0}
 	}
 
 	if !exp.usesPeersAxis() && len(peers) > 1 {
@@ -345,6 +417,11 @@ func (g Grid) Cells() ([]Cell, error) {
 	fileSize := g.FileSize
 	if fileSize <= 0 {
 		fileSize = 2 << 20
+		if exp == ExpSnapshotSync {
+			// The snapshot regime is defined by big transfers; a 2 MiB
+			// default would be a single piece.
+			fileSize = 16 << 20
+		}
 	}
 	lookups := g.Lookups
 	if lookups <= 0 {
@@ -385,14 +462,21 @@ func (g Grid) Cells() ([]Cell, error) {
 									if rc == 0 && cfIdx > 0 {
 										continue
 									}
-									for _, s := range seeds {
-										cells = append(cells, Cell{
-											Index: len(cells), Experiment: exp,
-											Peers: p, Churn: ch, Class: cl, Model: mdl, Window: win,
-											Scenario: sc, Rules: rc, Classifier: cf, Seed: s,
-											fileSize: fileSize, lookups: lookups,
-											fanout: fanout, horizon: horizon,
-										})
+									for _, ps := range pieceSizes {
+										for _, cc := range connCaps {
+											for _, rt := range rates {
+												for _, s := range seeds {
+													cells = append(cells, Cell{
+														Index: len(cells), Experiment: exp,
+														Peers: p, Churn: ch, Class: cl, Model: mdl, Window: win,
+														Scenario: sc, Rules: rc, Classifier: cf,
+														PieceSize: ps, ConnCap: cc, Rate: rt, Seed: s,
+														fileSize: fileSize, lookups: lookups,
+														fanout: fanout, horizon: horizon,
+													})
+												}
+											}
+										}
 									}
 								}
 							}
@@ -411,6 +495,8 @@ func defaultPeers(e Experiment) int {
 		return 100
 	case ExpPing:
 		return 2
+	case ExpSnapshotSync:
+		return 4 // few peers moving a huge file is the whole point
 	default:
 		return 16
 	}
@@ -591,6 +677,11 @@ func RunCell(c Cell) (*metrics.Snapshot, error) {
 			snap.Label("window", c.Window.String())
 		}
 	}
+	if c.Experiment.usesSnapshotAxes() {
+		snap.Label("piece", fmt.Sprintf("%d", c.PieceSize))
+		snap.Label("conncap", fmt.Sprintf("%d", c.ConnCap))
+		snap.Label("rate", fmt.Sprintf("%d", c.Rate))
+	}
 	if c.Experiment.usesRulesAxis() {
 		snap.Label("rules", fmt.Sprintf("%d", c.Rules))
 		// The swarm families run with no firewall at all when Rules ==
@@ -621,6 +712,8 @@ func RunCell(c Cell) (*metrics.Snapshot, error) {
 		err = runScenarioCell(c, snap)
 	case ExpPing:
 		err = runPingCell(c, snap)
+	case ExpSnapshotSync:
+		err = runSnapshotCell(c, snap)
 	default:
 		err = fmt.Errorf("unknown experiment %q", c.Experiment)
 	}
@@ -687,6 +780,57 @@ func runSwarmCell(c Cell, snap *metrics.Snapshot) error {
 	snap.Set("done-fraction", float64(done)/float64(len(out.Completions)))
 	snap.Set("last-completion-s", last)
 	snap.Set("ended-s", out.EndedAt.Seconds())
+	addKernelNetCounters(snap, out.Kernel.Events, out.Kernel.Switches, out.Kernel.Spawns,
+		out.Net.MessagesSent, out.Net.MessagesDelivered, out.Net.MessagesDropped,
+		out.Net.Retransmits, out.Net.BytesDelivered)
+	return nil
+}
+
+// runSnapshotCell sweeps the snapshot-sync workload: completion time
+// of a few rate-capped clients pulling a huge file in large pieces
+// from a seeder plus a web seed.
+func runSnapshotCell(c Cell, snap *metrics.Snapshot) error {
+	out, err := RunSnapshotSync(SnapshotSyncParams{
+		Clients:       c.Peers,
+		Seeders:       1,
+		WebSeeds:      1,
+		FileSize:      int64(c.fileSize),
+		PieceLength:   c.PieceSize,
+		ConnCap:       c.ConnCap,
+		UpRate:        c.Rate,
+		DownRate:      c.Rate,
+		StartInterval: time.Second,
+		Class:         c.Class,
+		Model:         c.Model,
+		Window:        c.Window,
+		Seed:          c.Seed,
+		Horizon:       c.horizon,
+	})
+	if err != nil {
+		return err
+	}
+	done := 0
+	var last, sum float64
+	for _, t := range out.Completions {
+		if t > 0 {
+			done++
+			sum += t.Seconds()
+			if t.Seconds() > last {
+				last = t.Seconds()
+			}
+		}
+	}
+	snap.Set("clients-done", float64(done))
+	snap.Set("done-fraction", float64(done)/float64(len(out.Completions)))
+	snap.Set("last-completion-s", last)
+	if done > 0 {
+		snap.Set("mean-completion-s", sum/float64(done))
+		// Per-client goodput over the slowest completion: the figure of
+		// merit the piece-size × conn-cap × rate grid is swept for.
+		snap.Set("goodput-mbps", float64(c.fileSize)*8/(last*1e6))
+	}
+	snap.Set("ended-s", out.EndedAt.Seconds())
+	snap.Count("webseed-bytes", out.WebSeedBytes)
 	addKernelNetCounters(snap, out.Kernel.Events, out.Kernel.Switches, out.Kernel.Spawns,
 		out.Net.MessagesSent, out.Net.MessagesDelivered, out.Net.MessagesDropped,
 		out.Net.Retransmits, out.Net.BytesDelivered)

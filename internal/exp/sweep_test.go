@@ -253,6 +253,97 @@ func TestSweepSchedCell(t *testing.T) {
 	}
 }
 
+// TestGridSnapshotAxes pins the snapshot-sync axis wiring: defaults
+// expand to one Erigon-shaped cell, the new axes cross-multiply, and
+// every other experiment rejects them loudly.
+func TestGridSnapshotAxes(t *testing.T) {
+	cells, err := Grid{Experiment: ExpSnapshotSync}.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 1 {
+		t.Fatalf("default snapshot grid = %d cells, want 1", len(cells))
+	}
+	c := cells[0]
+	if c.Peers != 4 || c.PieceSize != 2<<20 || c.ConnCap != 5 || c.Rate != 0 {
+		t.Fatalf("default cell = %+v", c)
+	}
+	if c.fileSize != 16<<20 {
+		t.Fatalf("default snapshot file size = %d, want 16 MiB", c.fileSize)
+	}
+	cells, err = Grid{
+		Experiment: ExpSnapshotSync,
+		PieceSizes: []int{512 * 1024, 2 << 20},
+		ConnCaps:   []int{2, 5},
+		Rates:      []int64{0, 256 * 1024},
+	}.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 8 {
+		t.Fatalf("2x2x2 snapshot grid = %d cells, want 8", len(cells))
+	}
+	if _, err := (Grid{Experiment: ExpSwarm, PieceSizes: []int{1 << 20}}).Cells(); err == nil {
+		t.Fatal("swarm must reject the piece-size axis")
+	}
+	if _, err := (Grid{Experiment: ExpDHT, Rates: []int64{1024}}).Cells(); err == nil {
+		t.Fatal("dht must reject the rate axis")
+	}
+	if _, err := (Grid{Experiment: ExpSnapshotSync, ConnCaps: []int{0}}).Cells(); err == nil {
+		t.Fatal("non-positive conn cap must be rejected")
+	}
+}
+
+// TestSweepSnapshotCellsDeterministic runs a small rate-capped
+// snapshot-sync grid serially and in parallel: the per-cell results
+// must be identical for any worker count (rate limiters are virtual
+// time, so metering cannot observe wall-clock scheduling), every cell
+// must complete, and the web seed must have carried traffic.
+func TestSweepSnapshotCellsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("snapshot cells are slow")
+	}
+	g := Grid{
+		Experiment: ExpSnapshotSync,
+		Peers:      []int{2},
+		FileSize:   2 << 20,
+		PieceSizes: []int{512 * 1024},
+		ConnCaps:   []int{2},
+		// The capped value sits well under the DSL downlink (~256 KiB/s),
+		// so the limiter — not the link — is the bottleneck.
+		Rates:   []int64{0, 64 * 1024},
+		Horizon: time.Hour,
+	}
+	serial, err := RunSweep(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := RunSweep(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Failed != 0 || wide.Failed != 0 {
+		t.Fatalf("failures: serial %v, wide %v", serial.Errs(), wide.Errs())
+	}
+	if a, b := sweepCSV(t, serial), sweepCSV(t, wide); a != b {
+		t.Fatalf("snapshot cells depend on worker count:\nserial:\n%s\nwide:\n%s", a, b)
+	}
+	for i, cr := range serial.Cells {
+		if cr.Snapshot.Values["done-fraction"] != 1 {
+			t.Fatalf("cell %d incomplete: %v", i, cr.Snapshot.Values)
+		}
+		if cr.Snapshot.Counters["webseed-bytes"] == 0 {
+			t.Fatalf("cell %d: web seed served nothing", i)
+		}
+	}
+	// The capped cell must be strictly slower than the uncapped one.
+	free := serial.Cells[0].Snapshot.Values["last-completion-s"]
+	capped := serial.Cells[1].Snapshot.Values["last-completion-s"]
+	if capped <= free {
+		t.Fatalf("rate cap had no effect: capped %.2fs vs free %.2fs", capped, free)
+	}
+}
+
 // TestSweepSwarmAndChurnCells runs one tiny swarm cell and one tiny
 // churn cell through the public adapter, checking the swarm-family
 // routing on the churn axis.

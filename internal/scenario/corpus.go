@@ -199,6 +199,49 @@ var corpus = []Spec{
 		},
 	},
 	{
+		Name:        "snapshot-cold-cdn-fill",
+		Description: "a seederless snapshot pull: 5 fast-DSL clients bootstrap a 8 MiB file in 2 MiB pieces entirely from one web seed, then trade pieces among themselves",
+		Model:       "flow",
+		Horizon:     Duration(30 * time.Minute),
+		Groups: []GroupSpec{
+			{Name: "pullers", Class: "fast-dsl", Nodes: 5},
+		},
+		Workload: WorkloadSpec{
+			Kind:     WorkloadSnapshot,
+			Seeders:  0,
+			WebSeeds: 1,
+		},
+	},
+	{
+		Name:        "snapshot-flash-crowd-capped",
+		Description: "6 fast-DSL clients rush one seeder for an 8 MiB snapshot; every peer's upload is token-bucket capped at 64 KiB/s, well under the access uplink, so the caps (not the links) set the completion tail",
+		Model:       "flow",
+		Horizon:     Duration(time.Hour),
+		Groups: []GroupSpec{
+			{Name: "crowd", Class: "fast-dsl", Nodes: 7},
+		},
+		Workload: WorkloadSpec{
+			Kind:          WorkloadSnapshot,
+			Seeders:       1,
+			UpRate:        64 * 1024,
+			StartInterval: Duration(250 * time.Millisecond),
+		},
+	},
+	{
+		Name:        "snapshot-seed-restart",
+		Description: "the only seeder of an 8 MiB snapshot goes down 30 s into the transfer and resumes from its kept storage 45 s later; the 4 clients ride out the gap on partial-piece trading",
+		Horizon:     Duration(30 * time.Minute),
+		Groups: []GroupSpec{
+			{Name: "nodes", Class: "fast-dsl", Nodes: 5},
+		},
+		Workload: WorkloadSpec{
+			Kind:            WorkloadSnapshot,
+			Seeders:         1,
+			SeedRestartAt:   Duration(30 * time.Second),
+			SeedRestartDown: Duration(45 * time.Second),
+		},
+	},
+	{
 		Name:        "dht-flapping-links",
 		Description: "Chord lookups measured while a fifth of the ring's interfaces flap down twice for 30 s",
 		Horizon:     Duration(20 * time.Minute),

@@ -471,6 +471,8 @@ func (r *runner) startWorkload() error {
 		return r.startSwarm(false)
 	case WorkloadChurnSwarm:
 		return r.startSwarm(true)
+	case WorkloadSnapshot:
+		return r.startSnapshot()
 	case WorkloadDHT:
 		return r.startDHT()
 	case WorkloadGossip:

@@ -163,6 +163,12 @@ func TestValidationRejects(t *testing.T) {
 		{"flow window without flow model", func(s *Spec) {
 			s.FlowWindow = Duration(50 * time.Millisecond)
 		}, "needs the flow model"},
+		{"snapshot knob on gossip", func(s *Spec) {
+			s.Workload.WebSeeds = 1
+		}, "need the snapshot workload"},
+		{"rate cap on gossip", func(s *Spec) {
+			s.Workload.DownRate = 1 << 20
+		}, "need the snapshot workload"},
 	}
 	for _, tc := range cases {
 		sp := base()
@@ -183,6 +189,67 @@ func TestValidationRejects(t *testing.T) {
 	sp.FlowWindow = Duration(50 * time.Millisecond)
 	if err := sp.WithDefaults().Validate(); err != nil {
 		t.Errorf("flow_window with flow model rejected: %v", err)
+	}
+}
+
+// TestSnapshotValidation: the snapshot-only knobs are range-checked,
+// the seederless cold fill needs a web seed, and the restart timeline
+// fields compose sensibly.
+func TestSnapshotValidation(t *testing.T) {
+	base := func() *Spec {
+		return &Spec{
+			Name:     "t",
+			Groups:   []GroupSpec{{Name: "g", Class: "fast-dsl", Nodes: 5}},
+			Workload: WorkloadSpec{Kind: WorkloadSnapshot},
+		}
+	}
+	cases := []struct {
+		name string
+		mut  func(*Spec)
+		want string
+	}{
+		{"too many web seeds", func(s *Spec) { s.Workload.WebSeeds = maxWebSeeds + 1 }, "web seeds outside"},
+		{"negative up rate", func(s *Spec) { s.Workload.UpRate = -1 }, "negative rate cap"},
+		{"negative down rate", func(s *Spec) { s.Workload.DownRate = -1 }, "negative rate cap"},
+		{"negative restart at", func(s *Spec) {
+			s.Workload.SeedRestartAt = Duration(-time.Second)
+		}, "negative seed restart"},
+		{"restart without seeder", func(s *Spec) {
+			s.Workload.WebSeeds = 1 // keeps WithDefaults from minting a seeder
+			s.Workload.SeedRestartAt = Duration(time.Second)
+		}, "needs at least one seeder"},
+		{"restart down without at", func(s *Spec) {
+			s.Workload.SeedRestartDown = Duration(time.Second)
+		}, "seed_restart_down without seed_restart_at"},
+	}
+	for _, tc := range cases {
+		sp := base()
+		tc.mut(sp)
+		err := sp.WithDefaults().Validate()
+		if err == nil {
+			t.Errorf("%s: validated unexpectedly", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+
+	// Valid combinations: the seederless cold fill (web seed carries
+	// the swarm) and a rate-capped restart run.
+	cold := base()
+	cold.Workload.WebSeeds = 1
+	if err := cold.WithDefaults().Validate(); err != nil {
+		t.Errorf("seederless cold fill rejected: %v", err)
+	}
+	restart := base()
+	restart.Workload.UpRate = 64 * 1024
+	restart.Workload.SeedRestartAt = Duration(30 * time.Second)
+	if err := restart.WithDefaults().Validate(); err != nil {
+		t.Errorf("capped restart run rejected: %v", err)
+	}
+	if d := restart.WithDefaults().Workload.SeedRestartDown; d <= 0 {
+		t.Errorf("seed_restart_down not defaulted alongside seed_restart_at: %v", d)
 	}
 }
 

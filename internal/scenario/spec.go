@@ -1,7 +1,8 @@
 // Package scenario is the declarative experiment layer: a Spec
 // composes a topology (node groups with access-link classes and
 // inter-group latencies), a link model (pipe or flow), a workload
-// (swarm, churn-swarm, DHT, gossip) and a timeline of scheduled
+// (swarm, churn-swarm, snapshot, DHT, gossip) and a timeline of
+// scheduled
 // network events — partitions and heals between node groups, runtime
 // link-class changes (degrade/restore), loss bursts and interface
 // flaps. Specs are plain Go values, JSON-loadable, and runnable by
@@ -81,18 +82,24 @@ type LatencySpec struct {
 const (
 	WorkloadSwarm      = "swarm"
 	WorkloadChurnSwarm = "churn-swarm"
+	WorkloadSnapshot   = "snapshot"
 	WorkloadDHT        = "dht"
 	WorkloadGossip     = "gossip"
 )
 
+// maxWebSeeds caps a snapshot workload's web-seed fleet; web seeds are
+// admin-space CDN hosts, not swarm members, and a handful saturates any
+// corpus-sized scenario.
+const maxWebSeeds = 16
+
 // WorkloadSpec selects and tunes the application driven over the
 // scenario's network. Zero-valued knobs take workload defaults.
 type WorkloadSpec struct {
-	Kind string `json:"kind"` // swarm | churn-swarm | dht | gossip
+	Kind string `json:"kind"` // swarm | churn-swarm | snapshot | dht | gossip
 
-	// Swarm family.
-	FileSize      int64    `json:"file_size,omitempty"`      // bytes, default 1 MiB
-	Seeders       int      `json:"seeders,omitempty"`        // default 1
+	// Swarm family (swarm, churn-swarm, snapshot).
+	FileSize      int64    `json:"file_size,omitempty"`      // bytes, default 1 MiB (8 MiB for snapshot)
+	Seeders       int      `json:"seeders,omitempty"`        // default 1 (snapshot allows 0 with web seeds)
 	SeederGroup   string   `json:"seeder_group,omitempty"`   // default: first group
 	StartInterval Duration `json:"start_interval,omitempty"` // default 1s
 
@@ -100,6 +107,17 @@ type WorkloadSpec struct {
 	ChurnFraction float64  `json:"churn_fraction,omitempty"` // default 0.5
 	Session       Duration `json:"session,omitempty"`        // mean up-time, default 120s
 	Downtime      Duration `json:"downtime,omitempty"`       // mean down-time, default 60s
+
+	// Snapshot only: the few-peers / huge-file / rate-capped regime.
+	PieceLength int   `json:"piece_length,omitempty"` // bytes, default 2 MiB
+	ConnCap     int   `json:"conn_cap,omitempty"`     // per-client peer budget, default 5
+	UpRate      int64 `json:"up_rate,omitempty"`      // bytes/s token-bucket cap, 0 unlimited
+	DownRate    int64 `json:"down_rate,omitempty"`    // bytes/s token-bucket cap, 0 unlimited
+	WebSeeds    int   `json:"web_seeds,omitempty"`    // admin-space block servers, default 0
+	// SeedRestartAt takes the first seeder offline mid-transfer; it
+	// resumes (same storage) SeedRestartDown later (default 30s).
+	SeedRestartAt   Duration `json:"seed_restart_at,omitempty"`
+	SeedRestartDown Duration `json:"seed_restart_down,omitempty"`
 
 	// DHT only.
 	Lookups int `json:"lookups,omitempty"` // default 50
@@ -251,11 +269,17 @@ func (s *Spec) WithDefaults() *Spec {
 	}
 	w := &out.Workload
 	switch w.Kind {
-	case WorkloadSwarm, WorkloadChurnSwarm:
+	case WorkloadSwarm, WorkloadChurnSwarm, WorkloadSnapshot:
 		if w.FileSize <= 0 {
 			w.FileSize = 1 << 20
+			if w.Kind == WorkloadSnapshot {
+				w.FileSize = 8 << 20 // a scaled-down huge-file pull
+			}
 		}
-		if w.Seeders <= 0 {
+		// A snapshot workload with web seeds may legitimately run
+		// seederless (the cold-CDN-fill case); everything else needs a
+		// seeder.
+		if w.Seeders <= 0 && (w.Kind != WorkloadSnapshot || w.WebSeeds <= 0) {
 			w.Seeders = 1
 		}
 		if w.SeederGroup == "" && len(out.Groups) > 0 {
@@ -273,6 +297,17 @@ func (s *Spec) WithDefaults() *Spec {
 			}
 			if w.Downtime <= 0 {
 				w.Downtime = Duration(60 * time.Second)
+			}
+		}
+		if w.Kind == WorkloadSnapshot {
+			if w.PieceLength <= 0 {
+				w.PieceLength = 2 << 20
+			}
+			if w.ConnCap <= 0 {
+				w.ConnCap = 5
+			}
+			if w.SeedRestartAt > 0 && w.SeedRestartDown <= 0 {
+				w.SeedRestartDown = Duration(30 * time.Second)
 			}
 		}
 	case WorkloadDHT:
@@ -376,8 +411,18 @@ func (s *Spec) Validate() error {
 
 func (s *Spec) validateWorkload(totalNodes int) error {
 	w := s.Workload
+	// The snapshot knobs change what the experiment measures; silently
+	// ignoring them on another kind would run a different scenario than
+	// the author wrote — same policy as the gated timeline fields.
+	if w.Kind != WorkloadSnapshot {
+		if w.PieceLength != 0 || w.ConnCap != 0 || w.UpRate != 0 || w.DownRate != 0 ||
+			w.WebSeeds != 0 || w.SeedRestartAt != 0 || w.SeedRestartDown != 0 {
+			return fmt.Errorf("scenario %s: piece_length/conn_cap/up_rate/down_rate/web_seeds/seed_restart_* need the snapshot workload (got %q)",
+				s.Name, w.Kind)
+		}
+	}
 	switch w.Kind {
-	case WorkloadSwarm, WorkloadChurnSwarm:
+	case WorkloadSwarm, WorkloadChurnSwarm, WorkloadSnapshot:
 		if w.FileSize <= 0 {
 			return fmt.Errorf("scenario %s: file size %d not positive", s.Name, w.FileSize)
 		}
@@ -390,9 +435,13 @@ func (s *Spec) validateWorkload(totalNodes int) error {
 		if seederGroup == nil {
 			return fmt.Errorf("scenario %s: unknown seeder group %q", s.Name, w.SeederGroup)
 		}
-		if w.Seeders < 1 || w.Seeders > seederGroup.Nodes {
-			return fmt.Errorf("scenario %s: %d seeders outside [1,%d] (group %q)",
-				s.Name, w.Seeders, seederGroup.Nodes, seederGroup.Name)
+		minSeeders := 1
+		if w.Kind == WorkloadSnapshot && w.WebSeeds > 0 {
+			minSeeders = 0 // web seeds carry a seederless cold fill
+		}
+		if w.Seeders < minSeeders || w.Seeders > seederGroup.Nodes {
+			return fmt.Errorf("scenario %s: %d seeders outside [%d,%d] (group %q)",
+				s.Name, w.Seeders, minSeeders, seederGroup.Nodes, seederGroup.Name)
 		}
 		if totalNodes-w.Seeders < 1 {
 			return fmt.Errorf("scenario %s: no clients left after %d seeders", s.Name, w.Seeders)
@@ -406,6 +455,23 @@ func (s *Spec) validateWorkload(totalNodes int) error {
 			}
 			if w.Session <= 0 || w.Downtime <= 0 {
 				return fmt.Errorf("scenario %s: churn session/downtime must be positive", s.Name)
+			}
+		}
+		if w.Kind == WorkloadSnapshot {
+			if w.WebSeeds < 0 || w.WebSeeds > maxWebSeeds {
+				return fmt.Errorf("scenario %s: %d web seeds outside [0,%d]", s.Name, w.WebSeeds, maxWebSeeds)
+			}
+			if w.UpRate < 0 || w.DownRate < 0 {
+				return fmt.Errorf("scenario %s: negative rate cap (up %d, down %d)", s.Name, w.UpRate, w.DownRate)
+			}
+			if w.SeedRestartAt < 0 || w.SeedRestartDown < 0 {
+				return fmt.Errorf("scenario %s: negative seed restart timing", s.Name)
+			}
+			if w.SeedRestartAt > 0 && w.Seeders < 1 {
+				return fmt.Errorf("scenario %s: seed_restart_at needs at least one seeder", s.Name)
+			}
+			if w.SeedRestartDown > 0 && w.SeedRestartAt == 0 {
+				return fmt.Errorf("scenario %s: seed_restart_down without seed_restart_at", s.Name)
 			}
 		}
 	case WorkloadDHT:
@@ -426,7 +492,7 @@ func (s *Spec) validateWorkload(totalNodes int) error {
 		return fmt.Errorf("scenario %s: missing workload kind", s.Name)
 	default:
 		return fmt.Errorf("scenario %s: unknown workload kind %q (want %s)", s.Name, w.Kind,
-			strings.Join([]string{WorkloadSwarm, WorkloadChurnSwarm, WorkloadDHT, WorkloadGossip}, ", "))
+			strings.Join([]string{WorkloadSwarm, WorkloadChurnSwarm, WorkloadSnapshot, WorkloadDHT, WorkloadGossip}, ", "))
 	}
 	return nil
 }

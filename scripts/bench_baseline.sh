@@ -9,15 +9,16 @@
 # flow-solver churn path (incremental component re-solve), the
 # firewall classifier (linear scan vs hash index over a 50k-rule
 # table), the obs-registry update paid on instrumented transmit
-# paths, and the swarm-scale family (megaswarm peers/sec plus the bt
-# per-event hot paths): the benchmarks whose trajectory the
-# queue/pooling/flow/classifier/observability/hot-loop work is
-# expected to move. Compare machines with a grain of salt — the
-# baseline is only meaningful against runs on comparable hardware.
+# paths, the swarm-scale family (megaswarm peers/sec plus the bt
+# per-event hot paths), and the snapshot-sync family (few peers, huge
+# file, token-bucket caps, web seed): the benchmarks whose trajectory
+# the queue/pooling/flow/classifier/observability/hot-loop/rate-limit
+# work is expected to move. Compare machines with a grain of salt —
+# the baseline is only meaningful against runs on comparable hardware.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-PATTERN='BenchmarkKernelModes|BenchmarkKernelQueues|BenchmarkFig1SchedulerScaling|BenchmarkSweep|BenchmarkFlowChurn|BenchmarkRuleEval|BenchmarkObsHot|BenchmarkSwarmScaleHot'
+PATTERN='BenchmarkKernelModes|BenchmarkKernelQueues|BenchmarkFig1SchedulerScaling|BenchmarkSweep|BenchmarkFlowChurn|BenchmarkRuleEval|BenchmarkObsHot|BenchmarkSwarmScaleHot|BenchmarkSnapshotSync'
 OUT=BENCH_baseline.json
 
 run() {
@@ -50,10 +51,22 @@ gate_zero_alloc() {
   fi
 }
 
+# Families that carry a regression contract must actually run: a
+# rename or a pattern typo silently dropping one would let later
+# regressions land ungated.
+gate_present() {
+  local raw=$1 family=$2 what=$3
+  if ! grep -qE "^${family}/" "$raw"; then
+    echo "$what: no benchmark output found for ${family}" >&2
+    return 1
+  fi
+}
+
 gate_all() {
   local raw=$1
   gate_zero_alloc "$raw" BenchmarkObsHot 'obs hot-path update'
   gate_zero_alloc "$raw" BenchmarkSwarmScaleHot 'bt swarm hot path'
+  gate_present "$raw" BenchmarkSnapshotSync 'snapshot-sync family'
 }
 
 case "${1:-record}" in
