@@ -51,6 +51,7 @@ func bencodeTo(buf *bytes.Buffer, v any) error {
 	case map[string]any:
 		buf.WriteByte('d')
 		keys := make([]string, 0, len(x))
+		//lint:allow maporder collected keys are sorted below, per the bencode canonical form
 		for k := range x {
 			keys = append(keys, k)
 		}

@@ -218,6 +218,8 @@ type Client struct {
 
 // NewClient creates a client on host h for the given torrent and
 // storage, announcing to tracker. Call Start to run it.
+//
+//p2p:tokenentry constructed either during pre-Run setup (host goroutine is the only accessor) or from a simulated goroutine (resume path); single-threaded either way
 func NewClient(h *vnet.Host, meta *MetaInfo, store Storage, tracker ip.Endpoint, cfg ClientConfig) *Client {
 	k := h.Network().Kernel()
 	c := &Client{
@@ -358,6 +360,8 @@ func (c *Client) dialWebSeed(p *sim.Proc, ep ip.Endpoint) {
 // the listener and every peer connection, tells the tracker, and ends
 // the event loop. The storage keeps its verified pieces, so a later
 // client on the same host can resume from them.
+//
+//p2p:token
 func (c *Client) Stop() {
 	if c.stopped {
 		return
@@ -457,6 +461,8 @@ func (c *Client) dialPeer(p *sim.Proc, ep ip.Endpoint) {
 
 // admit registers an established, handshaken connection with the main
 // loop. Runs in transient goroutines.
+//
+//p2p:token
 func (c *Client) admit(conn *vnet.Conn, initiated bool) {
 	pr := newPeer(conn, conn.RemoteAddr().Addr, c.meta.NumPieces(), initiated)
 	pr.cl = c

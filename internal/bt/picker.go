@@ -192,6 +192,7 @@ func (pk *Picker) Pick(have, peerHas *Bitfield, inFlight func(int) bool) int {
 	// piece selection must be deterministic for a fixed seed.
 	best := -1
 	bestAvail := int(^uint(0) >> 1)
+	//lint:allow maporder deterministic argmin: the (avail, index) minimum is unique, so the result is independent of visit order
 	for i := range pk.partial {
 		if have.Has(i) || !peerHas.Has(i) || inFlight(i) {
 			continue

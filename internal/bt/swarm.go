@@ -109,6 +109,7 @@ func BuildSwarm(spec SwarmSpec, trackerHost *vnet.Host, seedHosts, clientHosts [
 			store = NewMemStorage(meta)
 		}
 		c := NewClient(h, meta, store, trackerEP, spec.Client)
+		//p2p:token invoked by the client event loop when the download completes
 		c.OnComplete = func(*Client, sim.Time) {
 			s.completed++
 			if s.completed == len(s.Clients) {

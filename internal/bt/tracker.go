@@ -187,6 +187,8 @@ func (t *Tracker) handle(p *sim.Proc, c *vnet.Conn) {
 
 // announce processes one bencoded announce and returns the bencoded
 // response.
+//
+//p2p:token
 func (t *Tracker) announce(req []byte, from ip.Addr) ([]byte, error) {
 	v, err := Bdecode(req)
 	if err != nil {

@@ -119,6 +119,8 @@ func (d *Driver) Stats() Stats { return d.stats }
 // Drive schedules the churn lifecycle for every peer: arrive after a
 // uniform initial delay, stay online for a session draw, depart, stay
 // offline for a downtime draw, repeat.
+//
+//p2p:tokenentry pre-Run setup: runs on the host goroutine before Kernel.Run, the only accessor until the run starts
 func (d *Driver) Drive(peers []Peer) {
 	rng := d.k.Rand()
 	for i, peer := range peers {

@@ -542,6 +542,8 @@ func (m *Model) partition(seeds []*link) []*component {
 // them across up to cfg.Workers goroutines. Components are disjoint
 // subgraphs, so workers share no mutable state; results land in the
 // per-component structs and are applied sequentially by the caller.
+//
+//lint:allow kernelgo documented boundary: the solver pool runs between kernel events (virtual time frozen), joins before returning, and workers share no state — deterministic regardless of interleaving
 func (m *Model) solveComponents(comps []*component) {
 	workers := m.cfg.Workers
 	if workers <= 0 {

@@ -12,6 +12,7 @@ package gossip
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/ip"
@@ -167,15 +168,7 @@ func (n *Node) gossipRound(p *sim.Proc) {
 	if len(n.hot) == 0 || len(n.peers) == 0 {
 		return
 	}
-	var batch []Update
-	for id, rounds := range n.hot {
-		batch = append(batch, n.known[id])
-		if rounds <= 1 {
-			delete(n.hot, id)
-		} else {
-			n.hot[id] = rounds - 1
-		}
-	}
+	batch := n.collectHot()
 	rng := n.h.Network().Kernel().Rand()
 	fanout := n.cfg.Fanout
 	if fanout > len(n.peers) {
@@ -203,11 +196,57 @@ func (n *Node) antiEntropy(p *sim.Proc) {
 		return
 	}
 	n.Stats.Digests++
+	n.sendAsync(p, target, wireMsg{Kind: kindDigest, Have: n.digestIDs()})
+}
+
+// collectHot drains one round of hotness from every hot rumor and
+// returns the push payload in ID order. The hot set is a map; sorting
+// here keeps the wire payload (and the peer's learn order) independent
+// of Go's randomized iteration order.
+func (n *Node) collectHot() []Update {
+	var batch []Update
+	//lint:allow maporder collected batch is sorted by ID below before use
+	for id, rounds := range n.hot {
+		batch = append(batch, n.known[id])
+		if rounds <= 1 {
+			delete(n.hot, id)
+		} else {
+			n.hot[id] = rounds - 1
+		}
+	}
+	sort.Slice(batch, func(i, j int) bool { return batch[i].ID < batch[j].ID })
+	return batch
+}
+
+// digestIDs returns every known update ID in ascending order — the
+// anti-entropy digest payload, sorted for the same reason as
+// collectHot.
+func (n *Node) digestIDs() []uint64 {
 	have := make([]uint64, 0, len(n.known))
+	//lint:allow maporder collected digest is sorted below before use
 	for id := range n.known {
 		have = append(have, id)
 	}
-	n.sendAsync(p, target, wireMsg{Kind: kindDigest, Have: have})
+	sort.Slice(have, func(i, j int) bool { return have[i] < have[j] })
+	return have
+}
+
+// missingFor returns the updates a peer with the given digest lacks,
+// in ID order.
+func (n *Node) missingFor(have []uint64) []Update {
+	peerHas := make(map[uint64]bool, len(have))
+	for _, id := range have {
+		peerHas[id] = true
+	}
+	var missing []Update
+	//lint:allow maporder collected updates are sorted by ID below before use
+	for id, u := range n.known {
+		if !peerHas[id] {
+			missing = append(missing, u)
+		}
+	}
+	sort.Slice(missing, func(i, j int) bool { return missing[i].ID < missing[j].ID })
+	return missing
 }
 
 // sendAsync delivers one message over a transient connection.
@@ -262,17 +301,7 @@ func (n *Node) serve(p *sim.Proc) {
 					n.learn(p.Now(), u)
 				}
 			case kindDigest:
-				peerHas := make(map[uint64]bool, len(m.Have))
-				for _, id := range m.Have {
-					peerHas[id] = true
-				}
-				var missing []Update
-				for id, u := range n.known {
-					if !peerHas[id] {
-						missing = append(missing, u)
-					}
-				}
-				reply := wireMsg{Kind: kindDigestReply, Updates: missing}
+				reply := wireMsg{Kind: kindDigestReply, Updates: n.missingFor(m.Have)}
 				c.SendMeta(p, reply.wireSize(), reply)
 				// Symmetric repair: learn what the peer has that we
 				// lack at the next anti-entropy round (pull-only here).

@@ -238,3 +238,67 @@ func TestStoppedNodeStopsGossiping(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestWirePayloadsSortedByID is the regression test for the map-order
+// bug p2pvet's maporder analyzer flagged: the push batch, the
+// anti-entropy digest and the digest reply were all built by ranging
+// over a map, so the wire payload order — and with it the peer's learn
+// order — changed from run to run. Payloads must come out in ID order
+// no matter what order the maps were populated in.
+func TestWirePayloadsSortedByID(t *testing.T) {
+	n := &Node{
+		known:     make(map[uint64]Update),
+		hot:       make(map[uint64]int),
+		FirstSeen: make(map[uint64]sim.Time),
+		cfg:       DefaultConfig(),
+	}
+	// Populate in descending order so an insertion-ordered (or
+	// map-iteration-ordered) implementation is maximally likely to
+	// come out unsorted.
+	ids := []uint64{907, 512, 404, 33, 12, 5, 2}
+	for _, id := range ids {
+		n.known[id] = Update{ID: id}
+		n.hot[id] = 2
+	}
+
+	batch := n.collectHot()
+	if len(batch) != len(ids) {
+		t.Fatalf("collectHot returned %d updates, want %d", len(batch), len(ids))
+	}
+	for i := 1; i < len(batch); i++ {
+		if batch[i-1].ID >= batch[i].ID {
+			t.Fatalf("push batch not in ascending ID order: %v", batch)
+		}
+	}
+
+	have := n.digestIDs()
+	if len(have) != len(ids) {
+		t.Fatalf("digestIDs returned %d IDs, want %d", len(have), len(ids))
+	}
+	for i := 1; i < len(have); i++ {
+		if have[i-1] >= have[i] {
+			t.Fatalf("digest not in ascending ID order: %v", have)
+		}
+	}
+
+	// A peer that only has the two smallest IDs must get the rest back
+	// in ascending order.
+	missing := n.missingFor([]uint64{2, 5})
+	if len(missing) != len(ids)-2 {
+		t.Fatalf("missingFor returned %d updates, want %d", len(missing), len(ids)-2)
+	}
+	for i, u := range missing {
+		if i > 0 && missing[i-1].ID >= u.ID {
+			t.Fatalf("digest reply not in ascending ID order: %v", missing)
+		}
+		if u.ID == 2 || u.ID == 5 {
+			t.Fatalf("digest reply includes an ID the peer already has: %v", missing)
+		}
+	}
+
+	// collectHot also drains hotness: two rounds empty the hot set.
+	n.collectHot()
+	if got := n.collectHot(); len(got) != 0 {
+		t.Fatalf("hot set not drained after HotRounds rounds: %v", got)
+	}
+}

@@ -1,0 +1,59 @@
+package analysis
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestFactSetRoundTrip(t *testing.T) {
+	fs := NewFactSet()
+	fs.Set("tokenheld", "(*repro/internal/sim.Kernel).Schedule", "token,arg")
+	fs.Set("tokenheld", "(*repro/internal/sim.Kernel).Go", "entry,arg")
+
+	data, err := fs.Encode()
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	back, err := DecodeFacts(data)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if v, ok := back.Get("tokenheld", "(*repro/internal/sim.Kernel).Schedule"); !ok || v != "token,arg" {
+		t.Errorf("round-tripped fact = (%q, %v), want (token,arg, true)", v, ok)
+	}
+	if _, ok := back.Get("tokenheld", "nope"); ok {
+		t.Error("phantom fact after round trip")
+	}
+
+	// Deterministic bytes: the vetx content feeds the build cache.
+	again, err := back.Encode()
+	if err != nil {
+		t.Fatalf("re-encode: %v", err)
+	}
+	if !bytes.Equal(data, again) {
+		t.Errorf("encoding not stable:\n%s\n%s", data, again)
+	}
+}
+
+func TestFactSetMerge(t *testing.T) {
+	a := NewFactSet()
+	a.Set("tokenheld", "f", "token")
+	b := NewFactSet()
+	b.Set("tokenheld", "g", "entry")
+	b.Set("other", "h", "x")
+
+	a.Merge(b)
+	if got := a.Keys("tokenheld"); len(got) != 2 || got[0] != "f" || got[1] != "g" {
+		t.Errorf("merged keys = %v, want [f g]", got)
+	}
+	if v, ok := a.Get("other", "h"); !ok || v != "x" {
+		t.Errorf("cross-namespace merge lost h: (%q, %v)", v, ok)
+	}
+}
+
+func TestDecodeEmpty(t *testing.T) {
+	fs, err := DecodeFacts(nil)
+	if err != nil || len(fs) != 0 {
+		t.Fatalf("DecodeFacts(nil) = (%v, %v), want empty set", fs, err)
+	}
+}

@@ -1,0 +1,33 @@
+// Package rand is a typecheck-only stand-in for math/rand, carrying
+// the package-level draws the detrand fixtures exercise plus the
+// blessed constructor path (New/NewSource) and *Rand methods.
+package rand
+
+type Source interface {
+	Int63() int64
+	Seed(seed int64)
+}
+
+type Rand struct{}
+
+func New(src Source) *Rand        { return &Rand{} }
+func NewSource(seed int64) Source { return nil }
+
+type Zipf struct{}
+
+func NewZipf(r *Rand, s float64, v float64, imax uint64) *Zipf { return nil }
+
+func (z *Zipf) Uint64() uint64 { return 0 }
+
+func (r *Rand) Int63() int64                       { return 0 }
+func (r *Rand) Intn(n int) int                     { return 0 }
+func (r *Rand) Float64() float64                   { return 0 }
+func (r *Rand) Perm(n int) []int                   { return nil }
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {}
+
+func Seed(seed int64)                    {}
+func Int63() int64                       { return 0 }
+func Intn(n int) int                     { return 0 }
+func Float64() float64                   { return 0 }
+func Perm(n int) []int                   { return nil }
+func Shuffle(n int, swap func(i, j int)) {}

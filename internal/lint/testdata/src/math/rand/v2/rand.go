@@ -1,0 +1,32 @@
+// Package rand is a typecheck-only stand-in for math/rand/v2: the
+// detrand analyzer bans its package-level draws just like v1's, while
+// the explicit-source constructors stay legal.
+package rand
+
+type Source interface {
+	Uint64() uint64
+}
+
+type Rand struct{}
+
+func New(src Source) *Rand { return &Rand{} }
+
+type PCG struct{}
+
+func NewPCG(seed1, seed2 uint64) *PCG { return nil }
+
+func (p *PCG) Uint64() uint64 { return 0 }
+
+type ChaCha8 struct{}
+
+func NewChaCha8(seed [32]byte) *ChaCha8 { return nil }
+
+func (c *ChaCha8) Uint64() uint64 { return 0 }
+
+func (r *Rand) IntN(n int) int   { return 0 }
+func (r *Rand) Uint64() uint64   { return 0 }
+func (r *Rand) Float64() float64 { return 0 }
+
+func IntN(n int) int   { return 0 }
+func Uint64() uint64   { return 0 }
+func Float64() float64 { return 0 }

@@ -1,0 +1,44 @@
+// Package churn is a detrand fixture impersonating a kernel-driven
+// package: package-level math/rand draws (the process-global source)
+// must be flagged; the seeded-constructor pattern and *Rand methods
+// must not.
+package churn
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+)
+
+func global() {
+	_ = rand.Intn(10)                  // want "rand.Intn uses the process-global random source"
+	_ = rand.Int63()                   // want "rand.Int63 uses the process-global random source"
+	_ = rand.Float64()                 // want "rand.Float64 uses the process-global random source"
+	_ = rand.Perm(4)                   // want "rand.Perm uses the process-global random source"
+	rand.Seed(42)                      // want "rand.Seed uses the process-global random source"
+	rand.Shuffle(2, func(i, j int) {}) // want "rand.Shuffle uses the process-global random source"
+}
+
+func globalV2() {
+	_ = randv2.IntN(10)  // want "rand.IntN uses the process-global random source"
+	_ = randv2.Uint64()  // want "rand.Uint64 uses the process-global random source"
+	_ = randv2.Float64() // want "rand.Float64 uses the process-global random source"
+}
+
+func seeded(seed int64) {
+	// The blessed pattern: an explicit source threaded from config.
+	r := rand.New(rand.NewSource(seed))
+	_ = r.Intn(10)
+	_ = r.Int63()
+	r.Shuffle(2, func(i, j int) {})
+	z := rand.NewZipf(r, 1.1, 1.0, 100)
+	_ = z.Uint64()
+
+	r2 := randv2.New(randv2.NewPCG(uint64(seed), 0))
+	_ = r2.IntN(10)
+	_ = randv2.NewChaCha8([32]byte{})
+}
+
+func suppressed() {
+	//lint:allow detrand fixture: jitter for a host-side backoff, not simulation state
+	_ = rand.Float64()
+}

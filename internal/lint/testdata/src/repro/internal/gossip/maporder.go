@@ -1,0 +1,59 @@
+// Package gossip is a maporder fixture impersonating a kernel-driven
+// package: order-sensitive bodies inside range-over-map must be
+// flagged; the commutative exemptions and justified suppressions must
+// not.
+package gossip
+
+func emit(s string) {}
+
+func pick() *int { return nil }
+
+// Exempt patterns: the analyzer proves these order-insensitive.
+func exempt(m map[string]int, out map[string]string, dead map[string]bool) int {
+	total := 0
+	for k, v := range m {
+		total += v     // integer accumulation commutes
+		total -= v / 2 // so does subtraction
+		x := v * 2     // loop-local state is per-iteration
+		x++
+		_ = x
+		_ = len(m)               // pure builtin
+		out[k] = string(rune(v)) // keyed write: distinct keys commute
+		delete(dead, k)          // set subtraction commutes
+	}
+	return total
+}
+
+func flagged(m map[string]int, ch chan string, sink []string, total float64) {
+	for k, v := range m {
+		emit(k)                // want "call to emit inside range over map"
+		ch <- k                // want "channel send inside range over map"
+		go emit(k)             // want "goroutine spawn inside range over map" "call to emit inside range over map"
+		defer emit(k)          // want "defer inside range over map" "call to emit inside range over map"
+		total += float64(v)    // want "non-integer accumulation into .total."
+		sink = append(sink, k) // want "write to .sink. .declared outside the loop."
+		*pick() = v            // want "write through a computed expression" "call to pick inside range over map"
+	}
+	_ = sink
+	_ = total
+}
+
+func suppressedLoop(m map[string]int) []string {
+	var names []string
+	//lint:allow maporder collected names are sorted by the caller before any order matters
+	for k := range m {
+		names = append(names, k)
+	}
+	return names
+}
+
+// suppressedFunc collects keys for a caller that sorts them.
+//
+//lint:allow maporder every caller sorts the result before use
+func suppressedFunc(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

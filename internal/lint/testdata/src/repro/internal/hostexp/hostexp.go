@@ -1,0 +1,42 @@
+// Package hostexp impersonates a host-side (non-kernel-driven) package:
+// walltime, detrand, maporder and kernelgo must all stay silent here,
+// whatever the code does. Only tokenheld is module-wide, and nothing
+// here touches the token surface.
+package hostexp
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+type pool struct {
+	mu   sync.Mutex
+	last time.Time
+}
+
+func (p *pool) tick() time.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	now := time.Now()
+	d := now.Sub(p.last)
+	p.last = now
+	return d
+}
+
+func jitter() float64 { return rand.Float64() }
+
+func fanout(cells map[string]func()) {
+	var wg sync.WaitGroup
+	done := make(chan string, len(cells))
+	for name, run := range cells {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			run()
+			done <- name
+		}()
+	}
+	wg.Wait()
+	close(done)
+}

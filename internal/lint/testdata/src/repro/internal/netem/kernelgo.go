@@ -1,0 +1,40 @@
+// Package netem is a kernelgo fixture impersonating a kernel-driven
+// package: native go/select/chan/sync use must be flagged.
+package netem
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex // want "sync.Mutex in kernel-context code"
+}
+
+func (g *guarded) lock() {
+	g.mu.Lock() // want "sync.Lock in kernel-context code"
+}
+
+func run() {}
+
+func spawn() {
+	go run() // want "native .go. statement in kernel-context code"
+}
+
+func channels(ch chan int) { // want "native channel type in kernel-context code"
+	ch <- 1        // want "native channel send in kernel-context code"
+	_ = <-ch       // want "native channel receive in kernel-context code"
+	close(ch)      // want "close of native channel in kernel-context code"
+	for range ch { // want "range over native channel in kernel-context code"
+	}
+	select { // want "select. in kernel-context code"
+	default:
+	}
+}
+
+func negations(vals []int, n int) {
+	// Non-channel uses of the same syntax stay silent.
+	for range vals {
+	}
+	x := -n
+	_ = x
+	m := map[int]bool{}
+	delete(m, n)
+}

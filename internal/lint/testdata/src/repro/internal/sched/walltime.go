@@ -1,0 +1,44 @@
+// Package sched is a walltime fixture impersonating a kernel-driven
+// package: every wall-clock read must be flagged, value plumbing and
+// justified suppressions must not.
+package sched
+
+import "time"
+
+func forbidden() {
+	_ = time.Now()                   // want "time.Now reads the wall clock"
+	time.Sleep(time.Second)          // want "time.Sleep reads the wall clock"
+	_ = time.Since(time.Time{})      // want "time.Since reads the wall clock"
+	_ = time.Until(time.Time{})      // want "time.Until reads the wall clock"
+	_ = time.After(time.Second)      // want "time.After reads the wall clock"
+	_ = time.Tick(time.Second)       // want "time.Tick reads the wall clock"
+	_ = time.NewTimer(time.Second)   // want "time.NewTimer reads the wall clock"
+	_ = time.NewTicker(time.Second)  // want "time.NewTicker reads the wall clock"
+	_ = time.AfterFunc(0, func() {}) // want "time.AfterFunc reads the wall clock"
+}
+
+func plumbing() {
+	// Pure value plumbing never touches the clock: fine.
+	var d time.Duration = 3 * time.Second
+	_ = d
+	d2, _ := time.ParseDuration("30s")
+	_ = d2
+	_ = time.Unix(0, 0)
+	_ = time.Time{}.Add(d)
+}
+
+func suppressedLine() {
+	//lint:allow walltime host-side pacing measurement, never feeds the virtual timeline
+	_ = time.Now()
+	t := time.Now() //lint:allow walltime trailing form: same justification, same line
+	_ = t
+}
+
+// suppressedFunc measures wall-clock overhead for the progress UI.
+//
+//lint:allow walltime the whole function is host-side instrumentation
+func suppressedFunc() time.Duration {
+	start := time.Now()
+	time.Sleep(time.Millisecond)
+	return time.Since(start)
+}

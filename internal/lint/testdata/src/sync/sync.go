@@ -1,0 +1,38 @@
+// Package sync is a typecheck-only stand-in for the standard library's
+// sync package, used by the kernelgo fixtures.
+package sync
+
+type Locker interface {
+	Lock()
+	Unlock()
+}
+
+type Mutex struct{}
+
+func (m *Mutex) Lock()   {}
+func (m *Mutex) Unlock() {}
+
+type RWMutex struct{}
+
+func (m *RWMutex) Lock()    {}
+func (m *RWMutex) Unlock()  {}
+func (m *RWMutex) RLock()   {}
+func (m *RWMutex) RUnlock() {}
+
+type WaitGroup struct{}
+
+func (w *WaitGroup) Add(delta int) {}
+func (w *WaitGroup) Done()         {}
+func (w *WaitGroup) Wait()         {}
+
+type Once struct{}
+
+func (o *Once) Do(f func()) {}
+
+type Cond struct{ L Locker }
+
+func NewCond(l Locker) *Cond { return &Cond{L: l} }
+
+func (c *Cond) Wait()      {}
+func (c *Cond) Signal()    {}
+func (c *Cond) Broadcast() {}

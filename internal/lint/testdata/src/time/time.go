@@ -1,0 +1,39 @@
+// Package time is a typecheck-only stand-in for the standard library's
+// time package: just enough surface for the walltime fixtures. Fixture
+// packages import it under the real "time" path, which is what the
+// analyzer keys on.
+package time
+
+type Time struct{}
+
+type Duration int64
+
+const (
+	Millisecond Duration = 1000 * 1000
+	Second               = 1000 * Millisecond
+)
+
+func (t Time) Add(d Duration) Time { return t }
+func (t Time) Sub(u Time) Duration { return 0 }
+func (t Time) Unix() int64         { return 0 }
+
+type Timer struct{ C <-chan Time }
+
+func (t *Timer) Stop() bool { return false }
+
+type Ticker struct{ C <-chan Time }
+
+func (t *Ticker) Stop() {}
+
+func Now() Time                             { return Time{} }
+func Since(t Time) Duration                 { return 0 }
+func Until(t Time) Duration                 { return 0 }
+func Sleep(d Duration)                      {}
+func After(d Duration) <-chan Time          { return nil }
+func AfterFunc(d Duration, f func()) *Timer { return nil }
+func Tick(d Duration) <-chan Time           { return nil }
+func NewTimer(d Duration) *Timer            { return nil }
+func NewTicker(d Duration) *Ticker          { return nil }
+
+func ParseDuration(s string) (Duration, error) { return 0, nil }
+func Unix(sec, nsec int64) Time                { return Time{} }

@@ -474,6 +474,7 @@ func (ix *ruleIndex) removeBatch(rules []Rule) {
 		}
 		seqs[b][rules[i].seq] = true
 	}
+	//lint:allow maporder each bucket is filtered exactly once, keyed by its own map key; bucket visit order is immaterial
 	for b, gone := range seqs {
 		list := ix.get(b)
 		kept := make([]Rule, 0, len(list)-len(gone))

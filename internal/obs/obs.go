@@ -332,6 +332,7 @@ func (r *Registry) Snapshot() *Snapshot {
 		return nil
 	}
 	names := make([]string, 0, len(r.families))
+	//lint:allow maporder collected names are sorted below before use
 	for name := range r.families {
 		names = append(names, name)
 	}

@@ -156,6 +156,7 @@ type Job struct {
 	firstSeq int     // seq of events[0]
 	histMax  int
 	subs     map[chan Event]struct{}
+	done     chan struct{} // closed by finish; wait on it instead of polling state
 
 	lastSample   *obs.Snapshot
 	lastVirtualS float64
@@ -183,6 +184,7 @@ func newJob(id string, req JobRequest, histMax int) *Job {
 		id: id, req: req, kind: kind, name: name,
 		state: JobQueued, created: time.Now(), histMax: histMax,
 		subs: make(map[chan Event]struct{}),
+		done: make(chan struct{}),
 	}
 }
 
@@ -230,11 +232,16 @@ func (j *Job) setRunning() {
 	j.publishLocked("state", map[string]any{"state": j.state})
 }
 
-// finish transitions to done/failed, publishes the final frame and
-// closes every subscriber channel (streams end at job completion).
+// finish transitions to done/failed, publishes the final frame, closes
+// every subscriber channel (streams end at job completion) and closes
+// the done channel. Finishing twice is a no-op.
 func (j *Job) finish(res *JobResult, err error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	if j.state == JobDone || j.state == JobFailed {
+		return
+	}
+	defer close(j.done)
 	j.finished = time.Now()
 	if err != nil {
 		j.state = JobFailed

@@ -229,8 +229,11 @@ func TestServeScenarioEndToEnd(t *testing.T) {
 func TestServeBoundedQueue(t *testing.T) {
 	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 2})
 	release := make(chan struct{})
+	firstRunning := make(chan struct{})
+	var firstOnce sync.Once
 	var ran sync.WaitGroup
 	s.run = func(j *Job) {
+		firstOnce.Do(func() { close(firstRunning) })
 		<-release
 		j.finish(&JobResult{Kind: j.kind}, nil)
 		ran.Done()
@@ -257,9 +260,10 @@ func TestServeBoundedQueue(t *testing.T) {
 			t.Fatalf("submit %d = %d", i, code)
 		}
 		if i == 0 {
-			// Give the worker a moment to dequeue the first job so the
-			// admission arithmetic below is deterministic.
-			waitFor(t, time.Second, func() bool { return len(s.queue) == 0 })
+			// Wait until the worker has dequeued the first job (it
+			// parks in the blocking runner) so the admission
+			// arithmetic below is deterministic.
+			<-firstRunning
 		}
 	}
 	if accepted != 3 || rejected != 2 {
@@ -273,13 +277,14 @@ func TestServeBoundedQueue(t *testing.T) {
 	}
 
 	close(release)
+	// The runner calls finish before ran.Done, so after Wait returns
+	// every admitted job's state is JobDone — no polling needed.
 	ran.Wait()
-	waitFor(t, 5*time.Second, func() bool {
-		h := getJSON(t, ts.URL+"/health", http.StatusOK)
-		jobs, _ := h["jobs"].(map[string]any)
-		done, _ := jobs["done"].(float64)
-		return done == 3
-	})
+	h := getJSON(t, ts.URL+"/health", http.StatusOK)
+	jobs2, _ := h["jobs"].(map[string]any)
+	if done, _ := jobs2["done"].(float64); done != 3 {
+		t.Fatalf("health done = %v, want 3", done)
+	}
 }
 
 // TestServeSweepJob runs a tiny sweep over HTTP and checks per-cell
@@ -353,7 +358,9 @@ func TestServeValidation(t *testing.T) {
 func TestServeResultConflict(t *testing.T) {
 	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 2})
 	release := make(chan struct{})
+	jobCh := make(chan *Job, 1)
 	s.run = func(j *Job) {
+		jobCh <- j
 		<-release
 		j.finish(&JobResult{Kind: j.kind}, nil)
 	}
@@ -363,11 +370,13 @@ func TestServeResultConflict(t *testing.T) {
 	}
 	id := sub["id"].(string)
 	getJSON(t, ts.URL+"/api/v1/jobs/"+id+"/result", http.StatusConflict)
+	j := <-jobCh
 	close(release)
-	waitFor(t, 5*time.Second, func() bool {
-		h := getJSON(t, ts.URL+"/api/v1/jobs/"+id, http.StatusOK)
-		return h["state"] == string(JobDone)
-	})
+	<-j.done // finish closes it; no state polling
+	h := getJSON(t, ts.URL+"/api/v1/jobs/"+id, http.StatusOK)
+	if h["state"] != string(JobDone) {
+		t.Fatalf("state = %v, want done", h["state"])
+	}
 	getJSON(t, ts.URL+"/api/v1/jobs/"+id+"/result", http.StatusOK)
 }
 
@@ -381,16 +390,4 @@ func getText(t *testing.T, url string) string {
 	var b bytes.Buffer
 	_, _ = b.ReadFrom(resp.Body)
 	return b.String()
-}
-
-func waitFor(t *testing.T, timeout time.Duration, cond func() bool) {
-	t.Helper()
-	deadline := time.Now().Add(timeout)
-	for time.Now().Before(deadline) {
-		if cond() {
-			return
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
-	t.Fatal("condition not reached before deadline")
 }

@@ -45,6 +45,8 @@ func NewChan[T any](k *Kernel, capacity int) *Chan[T] {
 }
 
 // push appends v to the ring, growing the storage when full.
+//
+//p2p:token
 func (c *Chan[T]) push(v T) {
 	if c.n == len(c.buf) {
 		grown := make([]T, max(4, 2*len(c.buf)))
@@ -59,6 +61,8 @@ func (c *Chan[T]) push(v T) {
 
 // pop removes and returns the oldest element, zeroing its slot so the
 // ring does not pin dead payloads. Callers guarantee c.n > 0.
+//
+//p2p:token
 func (c *Chan[T]) pop() T {
 	var zero T
 	v := c.buf[c.head]
@@ -89,6 +93,8 @@ func (c *Chan[T]) Send(p *Proc, v T) error {
 
 // TrySend enqueues v without blocking; it reports whether the item was
 // accepted (false when full or closed).
+//
+//p2p:token
 func (c *Chan[T]) TrySend(v T) bool {
 	if c.closed || (c.cap > 0 && c.n >= c.cap) {
 		return false
@@ -100,6 +106,8 @@ func (c *Chan[T]) TrySend(v T) bool {
 
 // TryRecv dequeues the oldest item without blocking; ok=false when the
 // buffer is empty.
+//
+//p2p:token
 func (c *Chan[T]) TryRecv() (v T, ok bool) {
 	if c.n == 0 {
 		return v, false
@@ -161,6 +169,8 @@ func (c *Chan[T]) RecvTimeout(p *Proc, d Duration) (v T, ok bool, err error) {
 
 // Close marks the channel closed. Buffered items remain receivable;
 // blocked receivers and senders are released.
+//
+//p2p:token
 func (c *Chan[T]) Close() {
 	if c.closed {
 		return

@@ -74,6 +74,8 @@ func (c *Cond) wait(p *Proc, d Duration) bool {
 }
 
 // remove unlinks w from the waiter list.
+//
+//p2p:token
 func (c *Cond) remove(w *condWaiter) {
 	for i, x := range c.waiters {
 		if x == w {
@@ -85,6 +87,8 @@ func (c *Cond) remove(w *condWaiter) {
 
 // Signal releases the longest-waiting process, if any. It may be called
 // from simulated goroutines or from event callbacks.
+//
+//p2p:token
 func (c *Cond) Signal() {
 	for len(c.waiters) > 0 {
 		w := c.waiters[0]
@@ -104,6 +108,8 @@ func (c *Cond) Signal() {
 }
 
 // Broadcast releases every waiting process.
+//
+//p2p:token
 func (c *Cond) Broadcast() {
 	for len(c.waiters) > 0 {
 		c.Signal()

@@ -1,3 +1,5 @@
+//lint:allow kernelgo this file IS the concurrency boundary: the run-loop/park/wake machinery that native go/chan/sync exist to implement; everything above it uses sim primitives
+
 // Package sim implements a deterministic virtual-time simulation kernel.
 //
 // The kernel multiplexes many simulated processes (real goroutines) onto a
@@ -171,6 +173,8 @@ func (k *Kernel) Now() Time {
 // simulation (observers, HTTP handlers) must use Now. On the
 // per-message fast paths the mutex round-trip this elides is a
 // measurable share of event cost.
+//
+//p2p:token
 func (k *Kernel) LoopNow() Time { return k.now }
 
 // Stats returns a snapshot of kernel activity counters.
@@ -193,12 +197,17 @@ func (k *Kernel) QueueResizes() uint64 {
 // Rand returns the kernel's deterministic random source. Because simulated
 // goroutines execute one at a time, sharing one source is race-free and
 // deterministic.
+//
+//p2p:token
 func (k *Kernel) Rand() *rand.Rand { return k.rng }
 
 // Go spawns a new simulated goroutine executing fn. It may be called
 // before Run (to create the initial population) or from a running
 // simulated goroutine. The child starts at the current virtual time,
 // after the caller next yields.
+//
+//p2p:tokenentry spawn bookkeeping is under k.mu; the wrapper goroutine runs fn only after the scheduler grants the token via t.wake
+//p2p:tokenarg
 func (k *Kernel) Go(name string, fn func(p *Proc)) {
 	t := &task{name: name, wake: make(chan struct{}, 1)}
 	p := &Proc{k: k, t: t}
@@ -228,6 +237,8 @@ func (k *Kernel) Go(name string, fn func(p *Proc)) {
 // exit releases the execution token when a task's function returns.
 // The dying task holds the token, so the bookkeeping is lock-free; the
 // handback to Run (inside yield) takes mu.
+//
+//p2p:token
 func (k *Kernel) exit(t *task) {
 	t.exited = true
 	k.nLive--
@@ -243,6 +254,8 @@ func (k *Kernel) exit(t *task) {
 // pop, FIFO order and Switches count are identical to the run loop's
 // own grant, so the execution schedule — and therefore every trace —
 // is unchanged.
+//
+//p2p:token
 func (k *Kernel) yield() {
 	if len(k.ready) > 0 && !k.stopped && !k.halted {
 		t := k.ready[0]
@@ -276,6 +289,8 @@ func (k *Kernel) yield() {
 // Called by the parking task, which holds the execution token — the
 // whole loop is mutex-free; only the teardown handback to Run takes
 // mu (see the serialization-discipline note on Kernel).
+//
+//p2p:token
 func (k *Kernel) sched(self *task) {
 	for {
 		if k.stopped || k.halted {
@@ -325,6 +340,9 @@ func (k *Kernel) sched(self *task) {
 // At schedules fn to run at instant at (clamped to now if in the past).
 // fn executes inside the kernel loop and must not block. It returns a
 // handle that can cancel the event before it fires.
+//
+//p2p:tokenentry k.mu serializes the cold scheduling boundary against the run loop
+//p2p:tokenarg
 func (k *Kernel) At(at Time, fn func()) *Event {
 	k.mu.Lock()
 	defer k.mu.Unlock()
@@ -332,6 +350,9 @@ func (k *Kernel) At(at Time, fn func()) *Event {
 }
 
 // After schedules fn to run d after the current virtual time.
+//
+//p2p:tokenentry k.mu serializes the cold scheduling boundary against the run loop
+//p2p:tokenarg
 func (k *Kernel) After(d Duration, fn func()) *Event {
 	k.mu.Lock()
 	defer k.mu.Unlock()
@@ -350,10 +371,16 @@ func (k *Kernel) After(d Duration, fn func()) *Event {
 // LoopNow. It is the highest-frequency kernel entry point (several
 // calls per emulated message), so the two elided atomics are a
 // measurable share of per-event cost. External goroutines must use At.
+//
+//p2p:token
+//p2p:tokenarg
 func (k *Kernel) Schedule(at Time, fn func()) {
 	k.events.push(k.alloc(at, fn))
 }
 
+// scheduleLocked is the common body of At and After.
+//
+//p2p:tokenentry callers hold k.mu, which serializes the cold scheduling boundary
 func (k *Kernel) scheduleLocked(at Time, fn func()) *Event {
 	ev := k.alloc(at, fn)
 	k.events.push(ev)
@@ -364,6 +391,8 @@ func (k *Kernel) scheduleLocked(at Time, fn func()) *Event {
 // and initializes it for scheduling. Callers hold the execution token
 // (or k.mu on the cold At/After paths — both serialize against every
 // other queue access).
+//
+//p2p:token
 func (k *Kernel) alloc(at Time, fn func()) *event {
 	if at < k.now {
 		at = k.now
@@ -383,6 +412,8 @@ func (k *Kernel) alloc(at Time, fn func()) *event {
 // recycle returns a dispatched or cancelled event struct to the free
 // list. Same serialization contract as alloc; ev must no longer be
 // queued.
+//
+//p2p:token
 func (k *Kernel) recycle(ev *event) {
 	ev.gen++
 	ev.fn = nil
@@ -423,6 +454,8 @@ func (e *Event) Cancel() bool {
 // position in the same-instant FIFO order, exactly as if the event had
 // been cancelled and scheduled anew. It reports whether the move took
 // effect; a fired or cancelled event is not revived.
+//
+//p2p:tokenentry holds e.k.mu for the whole splice, same contract as At
 func (e *Event) Reschedule(at Time) bool {
 	if e == nil || e.ev == nil {
 		return false
@@ -457,6 +490,8 @@ func (e *DeadlockError) Error() string {
 // limit are discarded). It returns a *DeadlockError if tasks are parked
 // with no pending events, and nil otherwise. Run must be called from a
 // non-simulated goroutine, exactly once.
+//
+//p2p:tokenentry the Run goroutine owns the token whenever no task is running (running/cond handshake)
 func (k *Kernel) Run() error {
 	k.mu.Lock()
 	defer k.mu.Unlock()
@@ -516,6 +551,7 @@ func (k *Kernel) Run() error {
 		// 3. Nothing runnable, nothing scheduled.
 		if k.nBlock > 0 {
 			names := make([]string, 0, len(k.blocked))
+			//lint:allow maporder collected names are sorted below before use
 			for t := range k.blocked {
 				names = append(names, t.name)
 			}
@@ -536,10 +572,13 @@ func (k *Kernel) Run() error {
 // keeping the one-goroutine-at-a-time invariant (and therefore
 // determinism and race-freedom) through teardown. Callers hold k.mu;
 // on return nLive is zero.
+//
+//p2p:tokenentry callers hold k.mu and no task is running during teardown
 func (k *Kernel) killAllLocked() {
 	victims := append([]*task(nil), k.ready...)
 	k.ready = nil
 	parked := make([]*task, 0, len(k.blocked))
+	//lint:allow maporder collected tasks are sorted by spawn id below before unwinding
 	for t := range k.blocked {
 		t.blocked = false
 		delete(k.blocked, t)
@@ -583,6 +622,8 @@ func (k *Kernel) RunUntil(limit Time) error {
 
 // drain discards all pending events. Same serialization contract as
 // alloc.
+//
+//p2p:token
 func (k *Kernel) drain() {
 	for k.events.len() > 0 {
 		k.recycle(k.events.pop())
@@ -600,6 +641,8 @@ func (k *Kernel) Stop() {
 // wake moves a parked task to the ready queue. Callers hold the
 // execution token (wakes are triggered by running tasks and event
 // callbacks only).
+//
+//p2p:token
 func (k *Kernel) wake(t *task) {
 	if !t.blocked || t.exited {
 		return

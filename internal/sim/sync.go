@@ -27,6 +27,8 @@ func (s *Semaphore) Acquire(p *Proc) {
 }
 
 // TryAcquire takes a permit without blocking; reports success.
+//
+//p2p:token
 func (s *Semaphore) TryAcquire() bool {
 	if s.avail == 0 {
 		return false
@@ -36,6 +38,8 @@ func (s *Semaphore) TryAcquire() bool {
 }
 
 // Release returns one permit and wakes a waiter if any.
+//
+//p2p:token
 func (s *Semaphore) Release() {
 	s.avail++
 	s.cond.Signal()
@@ -58,6 +62,8 @@ func NewWaitGroup(k *Kernel) *WaitGroup {
 }
 
 // Add adds delta to the counter.
+//
+//p2p:token
 func (w *WaitGroup) Add(delta int) {
 	w.n += delta
 	if w.n < 0 {
@@ -69,6 +75,8 @@ func (w *WaitGroup) Add(delta int) {
 }
 
 // Done decrements the counter by one.
+//
+//p2p:token
 func (w *WaitGroup) Done() { w.Add(-1) }
 
 // Wait parks until the counter reaches zero.

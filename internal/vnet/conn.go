@@ -65,6 +65,8 @@ type Conn struct {
 // event context and must not block — the intended use is appending to an
 // unbounded queue shared by many connections, so one goroutine can
 // multiplex hundreds of peers without a reader goroutine each.
+//
+//p2p:token
 func (c *Conn) SetSink(fn func(pk Packet, closed bool)) {
 	c.sink = fn
 	for {
@@ -81,6 +83,8 @@ func (c *Conn) SetSink(fn func(pk Packet, closed bool)) {
 }
 
 // onData reorders an arriving data message into the inbox.
+//
+//p2p:token
 func (c *Conn) onData(seq uint64, pk Packet) {
 	if seq < c.recvNext {
 		return // duplicate
@@ -106,6 +110,8 @@ func (c *Conn) onData(seq uint64, pk Packet) {
 }
 
 // abort tears the receive side down immediately (RST).
+//
+//p2p:token
 func (c *Conn) abort() {
 	c.inbox.Close()
 	if c.sink != nil && !c.sinkEOF {
@@ -115,6 +121,8 @@ func (c *Conn) abort() {
 }
 
 // onFin records the end-of-stream sequence and closes once reached.
+//
+//p2p:token
 func (c *Conn) onFin(seq uint64) {
 	c.finSeen = true
 	c.finSeq = seq
@@ -122,6 +130,7 @@ func (c *Conn) onFin(seq uint64) {
 	c.flushInOrder()
 }
 
+//p2p:token
 func (c *Conn) flushInOrder() {
 	for {
 		pk, ok := c.pending[c.recvNext]
@@ -140,6 +149,8 @@ func (c *Conn) flushInOrder() {
 }
 
 // checkFin closes the receive side once the FIN's sequence is reached.
+//
+//p2p:token
 func (c *Conn) checkFin() {
 	if c.finSeen && c.recvNext >= c.finSeq {
 		c.inbox.Close()
@@ -304,6 +315,8 @@ func (l *Listener) AcceptTimeout(p *sim.Proc, d sim.Duration) (*Conn, bool, erro
 // dialer side is established — closing the backlog alone would leave
 // those dialers half-open forever. Draining sends each one an RST
 // (dialers see ErrClosed) and deregisters the local side.
+//
+//p2p:token
 func (l *Listener) Close() {
 	if l.closed {
 		return

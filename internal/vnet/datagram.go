@@ -78,6 +78,8 @@ func (pc *PacketConn) RecvFromTimeout(p *sim.Proc, d sim.Duration) (Packet, bool
 }
 
 // Close releases the port.
+//
+//p2p:token
 func (pc *PacketConn) Close() {
 	if pc.closed {
 		return

@@ -160,6 +160,8 @@ func (h *Host) Listen(p *sim.Proc, port ip.Port) (*Listener, error) {
 
 // deliver dispatches an arriving message to the right socket. It runs
 // inside kernel event callbacks.
+//
+//p2p:token
 func (h *Host) deliver(m message) {
 	n := h.net
 	switch m.kind {

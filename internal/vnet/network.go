@@ -240,6 +240,8 @@ func (n *Network) pathBlocked(src, dst *Host) bool {
 // recovery (re-announce, redial) can happen after the heal. The remote
 // side cannot be told (no packet reaches it) and stays half-open until
 // its own traffic fails the same way.
+//
+//p2p:token called from the delivery/drop paths, which run inside the kernel loop
 func (n *Network) resetConn(src *Host, m message) {
 	if m.kind != kindData && m.kind != kindFin {
 		return // handshakes are bounded by HandshakeTimeout already
@@ -486,6 +488,8 @@ func (m *message) wireSize(cfg *Config) int { return m.size + cfg.HeaderBytes }
 // and delivers it at the destination host. reliable messages are
 // retransmitted on loss up to MaxRetransmits. It returns false if the
 // path is administratively denied or the destination is unknown.
+//
+//p2p:token transmit runs on the sender's simulated goroutine or an event callback
 func (n *Network) transmit(src *Host, m message, reliable bool) bool {
 	dst := n.hosts[m.dst.Addr]
 	if dst == nil {
@@ -580,6 +584,8 @@ func (n *Network) releaseXfer(x *xfer) {
 // evaluation, path construction, then the hop walk. The order of checks,
 // stat bumps, trace records and event scheduling is identical, so traces
 // are byte-for-byte those of the closure-based path.
+//
+//p2p:token
 func (x *xfer) attempt() {
 	n := x.n
 	if n.pathBlocked(x.src, x.dst) {
@@ -623,6 +629,8 @@ func (x *xfer) attempt() {
 // unconstrained pipes and parking on an event at each constrained pipe's
 // exit instant — the pooled equivalent of PipeModel.Transfer's hop
 // recursion.
+//
+//p2p:token
 func (x *xfer) step() {
 	n := x.n
 	for {
@@ -649,6 +657,8 @@ func (x *xfer) step() {
 // deliver lands the message on the destination host and recycles the
 // xfer. The message and destination are copied out first: deliver may
 // synchronously trigger sends that reuse this pooled entry.
+//
+//p2p:token
 func (x *xfer) deliver() {
 	n := x.n
 	n.stats.MessagesDelivered++
@@ -665,6 +675,8 @@ func (x *xfer) deliver() {
 }
 
 // retry launches the next attempt from the current instant.
+//
+//p2p:token
 func (x *xfer) retry() {
 	x.tries++
 	x.start = x.n.k.LoopNow()
@@ -674,6 +686,8 @@ func (x *xfer) retry() {
 // failed handles a dropped attempt: backoff-retry for reliable messages
 // with budget left, otherwise account the drop, reset the sender-side
 // connection if reliable, and recycle the xfer.
+//
+//p2p:token
 func (x *xfer) failed() {
 	n := x.n
 	if x.reliable && x.tries < n.cfg.MaxRetransmits {
@@ -700,6 +714,8 @@ func (x *xfer) failed() {
 // latency applies and the message is delivered. A dropped attempt of a
 // reliable message retries with exponential backoff from the attempt's
 // start instant.
+//
+//p2p:token
 func (n *Network) attempt(src, dst *Host, m message, route Route, tries int, start sim.Time, reliable bool) {
 	size := m.wireSize(&n.cfg)
 	failed := func() {
